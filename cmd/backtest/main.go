@@ -1,0 +1,156 @@
+// Command backtest reproduces the paper's correctness and cost-optimization
+// experiments over the full 452-combination population:
+//
+//	backtest -experiment table1    Table 1: correctness buckets for all four methods
+//	backtest -experiment figure1   Figure 1: CDF of sub-target On-demand success fractions
+//	backtest -experiment table4    Table 4: per-AZ savings at p=0.99
+//	backtest -experiment table5    Table 5: per-AZ savings at p=0.95
+//	backtest -experiment all       everything above
+//
+// The full population with the paper's parameters (300 requests per combo
+// against 151 days of history) takes a few minutes; -combos and -requests
+// scale the run down for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/ascii"
+	"github.com/drafts-go/drafts/internal/backtest"
+	"github.com/drafts-go/drafts/internal/baselines"
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "table1", "table1 | figure1 | table4 | table5 | all")
+		seed       = flag.Int64("seed", 42, "campaign seed")
+		nCombos    = flag.Int("combos", 0, "restrict to the first N combos (0 = all 452)")
+		nRequests  = flag.Int("requests", 300, "requests per combo")
+		leadDays   = flag.Int("lead-days", 90, "history lead before the request window")
+		windowDays = flag.Int("window-days", 61, "request window length (the paper's Oct 1 - Dec 1)")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = auto)")
+	)
+	flag.Parse()
+	if err := run(*experiment, *seed, *nCombos, *nRequests, *leadDays, *windowDays, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "backtest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, seed int64, nCombos, nRequests, leadDays, windowDays, workers int) error {
+	combos := spot.Combos()
+	if nCombos > 0 && nCombos < len(combos) {
+		combos = combos[:nCombos]
+	}
+	lead := leadDays * 24 * 12
+	total := lead + windowDays*24*12 + 12*12 + 2 // window + 12h margin
+	start := time.Date(2016, 10, 1, 0, 0, 0, 0, time.UTC).
+		Add(-time.Duration(lead) * spot.UpdatePeriod)
+	gen := pricegen.Generator{Seed: seed}
+	seriesFor := func(c spot.Combo) (*history.Series, error) {
+		return gen.Series(c, start, total)
+	}
+
+	runAt := func(p float64) ([]backtest.ComboOutcome, error) {
+		cfg := backtest.Config{
+			Probability: p,
+			NumRequests: nRequests,
+			HistoryLead: lead,
+			Seed:        seed,
+			Workers:     workers,
+		}
+		fmt.Fprintf(os.Stderr, "backtesting %d combos x %d requests at p=%v...\n", len(combos), nRequests, p)
+		began := time.Now()
+		outs, err := backtest.Run(cfg, combos, seriesFor)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(began).Round(time.Second))
+		return outs, nil
+	}
+
+	var outs99, outs95 []backtest.ComboOutcome
+	need99 := experiment == "table1" || experiment == "figure1" || experiment == "table4" || experiment == "all"
+	need95 := experiment == "table5" || experiment == "all"
+	if !need99 && !need95 {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	var err error
+	if need99 {
+		if outs99, err = runAt(0.99); err != nil {
+			return err
+		}
+	}
+	if need95 {
+		if outs95, err = runAt(0.95); err != nil {
+			return err
+		}
+	}
+
+	if experiment == "table1" || experiment == "all" {
+		fmt.Printf("\nTable 1: backtested correctness fractions, %d combos, %d requests each, durations U(0,12h]\n\n",
+			len(combos), nRequests)
+		if err := backtest.WriteBucketTable(os.Stdout, backtest.BucketTable(outs99, 0.99), 0.99); err != nil {
+			return err
+		}
+		// The tech report's tightness metric: bid / market price at
+		// request time, averaged per combo (§4.4 cites 4.8-7.5).
+		min, max, sum := 0.0, 0.0, 0.0
+		for i, o := range outs99 {
+			tt := o.Tightness()
+			sum += tt
+			if i == 0 || tt < min {
+				min = tt
+			}
+			if tt > max {
+				max = tt
+			}
+		}
+		if len(outs99) > 0 {
+			fmt.Printf("\nDrAFTS bid tightness (bid/market-price): mean %.1f, per-combo range %.1f-%.1f\n",
+				sum/float64(len(outs99)), min, max)
+		}
+		for _, method := range baselines.Methods() {
+			below, noise := backtest.Indistinguishable(outs99, method, 0.99, 0.95)
+			if below > 0 {
+				fmt.Printf("%s: %d combos below target, %d of them within Wilson 95%% noise of it\n",
+					method, below, noise)
+			}
+		}
+		fmt.Println("\nPer-archetype diagnostic (combos below target):")
+		rows := backtest.ByArchetype(outs99, 0.99, func(c spot.Combo) string {
+			return pricegen.ArchetypeFor(c).String()
+		})
+		if err := backtest.WriteArchetypeTable(os.Stdout, rows); err != nil {
+			return err
+		}
+	}
+	if experiment == "figure1" || experiment == "all" {
+		fs := backtest.FractionCDF(outs99, baselines.MethodOnDemand, 0.99)
+		fmt.Printf("\nFigure 1: CDF of On-demand-bid correctness fractions below 0.99 (%d combos qualify)\n\n", len(fs))
+		fmt.Print(ascii.Chart{XLabel: "correctness fraction", YLabel: "cumulative probability"}.CDF(fs))
+		fmt.Println("\ncorrectness_fraction  cumulative_probability")
+		for i, f := range fs {
+			fmt.Printf("%.4f  %.4f\n", f, float64(i+1)/float64(len(fs)))
+		}
+	}
+	if experiment == "table4" || experiment == "all" {
+		fmt.Printf("\nTable 4: On-demand vs DrAFTS-based strategy cost, durability 0.99\n\n")
+		if err := backtest.WriteZoneCosts(os.Stdout, backtest.CostByZone(outs99)); err != nil {
+			return err
+		}
+	}
+	if experiment == "table5" || experiment == "all" {
+		fmt.Printf("\nTable 5: On-demand vs DrAFTS-based strategy cost, durability 0.95\n\n")
+		if err := backtest.WriteZoneCosts(os.Stdout, backtest.CostByZone(outs95)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Command draftsctl is the CLI client for the DrAFTS prediction service.
+//
+//	draftsctl -server http://localhost:8732 combos
+//	draftsctl table -zone us-east-1b -type c4.large -p 0.99
+//	draftsctl bid -zone us-east-1b -type c4.large -p 0.99 -duration 2h
+//
+// "table" prints the bid-vs-duration relationship (the data behind
+// Figure 4); "bid" answers the user question directly: the smallest bid
+// that guarantees the duration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/ascii"
+	"github.com/drafts-go/drafts/internal/service"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8732", "service base URL")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cl := &service.Client{BaseURL: *server}
+	var err error
+	switch flag.Arg(0) {
+	case "combos":
+		err = runCombos(cl)
+	case "table":
+		err = runTable(cl, flag.Args()[1:])
+	case "bid":
+		err = runBid(cl, flag.Args()[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "draftsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: draftsctl [-server URL] combos | table | bid [options]")
+	os.Exit(2)
+}
+
+func comboFlags(fs *flag.FlagSet) (*string, *string, *float64) {
+	zone := fs.String("zone", "", "availability zone")
+	ty := fs.String("type", "", "instance type")
+	p := fs.Float64("p", 0.99, "durability probability")
+	return zone, ty, p
+}
+
+func runCombos(cl *service.Client) error {
+	combos, err := cl.Combos()
+	if err != nil {
+		return err
+	}
+	for _, c := range combos {
+		fmt.Printf("%-14s %s\n", c.Zone, c.Type)
+	}
+	return nil
+}
+
+func runTable(cl *service.Client, args []string) error {
+	fs := flag.NewFlagSet("table", flag.ExitOnError)
+	zone, ty, p := comboFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	combo := spot.Combo{Zone: spot.Zone(*zone), Type: spot.InstanceType(*ty)}
+	table, err := cl.Predictions(combo, *p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# bid-duration relationship for %s at p=%v (as of %s)\n\n",
+		combo, table.Probability, table.At.Format(time.RFC3339))
+	xs := make([]float64, len(table.Points))
+	ys := make([]float64, len(table.Points))
+	for i, pt := range table.Points {
+		xs[i] = pt.Bid
+		ys[i] = pt.Duration.Hours()
+	}
+	fmt.Print(ascii.Chart{XLabel: "maximum bid ($/hour)", YLabel: "guaranteed duration (hours)"}.Series(xs, ys, '*'))
+	fmt.Println("\nbid_usd_hour  guaranteed_duration")
+	for _, pt := range table.Points {
+		fmt.Printf("%.4f        %s\n", pt.Bid, pt.Duration)
+	}
+	return nil
+}
+
+func runBid(cl *service.Client, args []string) error {
+	fs := flag.NewFlagSet("bid", flag.ExitOnError)
+	zone, ty, p := comboFlags(fs)
+	d := fs.Duration("duration", time.Hour, "required instance duration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	combo := spot.Combo{Zone: spot.Zone(*zone), Type: spot.InstanceType(*ty)}
+	quote, err := cl.Advise(combo, *p, *d)
+	if err != nil {
+		return err
+	}
+	bid := quote.Bid
+	od, odErr := spot.ODPrice(combo.Type, combo.Zone.Region())
+	fmt.Printf("bid %.4f USD/hour guarantees %v on %s with probability %v\n", bid, quote.Duration, combo, *p)
+	if odErr == nil {
+		if bid < od {
+			fmt.Printf("strategy: use the Spot tier (On-demand is %.4f; worst case saves %.1f%%)\n",
+				od, 100*(1-bid/od))
+		} else {
+			fmt.Printf("strategy: buy On-demand at %.4f (the Spot guarantee costs more)\n", od)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command draftsd runs the DrAFTS prediction service (§3.3): it maintains
+// price histories for a set of markets, recomputes bid tables for the 0.95
+// and 0.99 probability levels every 15 minutes, and serves them over REST.
+//
+// Without real market feeds, histories come from the synthetic generator
+// (-days of history, regenerated live as the market simulator would emit
+// them). Endpoints:
+//
+//	GET /healthz
+//	GET /v1/combos
+//	GET /v1/predictions?zone=Z&type=T&probability=P
+//	GET /v1/advise?zone=Z&type=T&probability=P&duration=2h
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/service"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8732", "listen address")
+		days    = flag.Int("days", 90, "days of synthetic history per combo")
+		seed    = flag.Int64("seed", 42, "history generator seed")
+		nCombos = flag.Int("combos", 60, "number of combos to serve (0 = all 452; full refreshes take longer)")
+		refresh = flag.Duration("refresh", 15*time.Minute, "table recomputation period")
+		dataDir = flag.String("data", "", "load price histories from a marketgen output directory instead of generating")
+	)
+	flag.Parse()
+	if err := run(*addr, *days, *seed, *nCombos, *refresh, *dataDir); err != nil {
+		fmt.Fprintln(os.Stderr, "draftsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, days int, seed int64, nCombos int, refresh time.Duration, dataDir string) error {
+	var store *history.Store
+	if dataDir != "" {
+		st, loaded, err := history.LoadDir(dataDir)
+		if err != nil {
+			return err
+		}
+		store = st
+		fmt.Fprintf(os.Stderr, "loaded %d combo histories from %s\n", loaded, dataDir)
+	} else {
+		combos := spot.Combos()
+		if nCombos > 0 && nCombos < len(combos) {
+			combos = combos[:nCombos]
+		}
+		n := days * 24 * 12
+		start := time.Now().UTC().Add(-time.Duration(n) * spot.UpdatePeriod).Truncate(spot.UpdatePeriod)
+		store = history.NewStore()
+		fmt.Fprintf(os.Stderr, "generating %d combo histories (%d days)...\n", len(combos), days)
+		if err := (pricegen.Generator{Seed: seed}).Populate(store, combos, start, n); err != nil {
+			return err
+		}
+	}
+
+	srv, err := service.New(service.Config{Source: store, RefreshEvery: refresh})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "computing initial bid tables...")
+	if err := srv.Start(context.Background()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "draftsd listening on %s (%d combos, refresh every %v)\n",
+		addr, len(store.Combos()), refresh)
+	return http.ListenAndServe(addr, srv.Handler())
+}

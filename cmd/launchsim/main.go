@@ -1,0 +1,74 @@
+// Command launchsim reproduces the paper's live instance-launch
+// experiments (§4.2) against the market simulator:
+//
+//	launchsim -experiment figure2   100 c4.large launches in us-east-1 (calm: expect ~0 failures)
+//	launchsim -experiment figure3   100 c3.2xlarge launches in us-west-1 (volatile: a few failures)
+//	launchsim -region R -type T     custom experiment
+//
+// The output is the figures' data: one line per launch with the DrAFTS
+// maximum bid (the y-axis of Figures 2 and 3) and the outcome.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/ascii"
+	"github.com/drafts-go/drafts/internal/launch"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "figure2 | figure3 (preset region/type)")
+		region     = flag.String("region", "", "region for a custom run")
+		ty         = flag.String("type", "", "instance type for a custom run")
+		prob       = flag.Float64("p", 0.95, "durability target")
+		n          = flag.Int("n", 100, "instances to launch")
+		warmup     = flag.Int("warmup", 3*30*24*12, "market warmup steps before the first launch")
+		seed       = flag.Int64("seed", 1511, "simulation seed")
+	)
+	flag.Parse()
+
+	cfg := launch.Config{
+		Probability:  *prob,
+		NumInstances: *n,
+		WarmupSteps:  *warmup,
+		Seed:         *seed,
+	}
+	switch *experiment {
+	case "figure2":
+		cfg.Region, cfg.Type = spot.USEast1, "c4.large"
+		cfg.Start = time.Date(2015, 11, 15, 0, 0, 0, 0, time.UTC)
+	case "figure3":
+		cfg.Region, cfg.Type = spot.USWest1, "c3.2xlarge"
+		cfg.Start = time.Date(2016, 1, 7, 0, 0, 0, 0, time.UTC)
+	case "":
+		cfg.Region, cfg.Type = spot.Region(*region), spot.InstanceType(*ty)
+	default:
+		fmt.Fprintf(os.Stderr, "launchsim: unknown experiment %q\n", *experiment)
+		os.Exit(1)
+	}
+
+	res, err := launch.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "launchsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# %s in %s, p=%v, %d launches (week-long schedule, 3300s instances)\n\n",
+		cfg.Type, cfg.Region, cfg.Probability, len(res.Records))
+	bids := make([]float64, len(res.Records))
+	for i, rec := range res.Records {
+		bids[i] = rec.Bid
+	}
+	fmt.Print(ascii.Chart{XLabel: "instance invocation number", YLabel: "DrAFTS maximum bid ($/hour)"}.Line(bids))
+	fmt.Println("\nlaunch  zone          bid_usd_hour  outcome")
+	for _, rec := range res.Records {
+		fmt.Printf("%6d  %-12s  %.4f        %s\n", rec.Seq+1, rec.Zone, rec.Bid, rec.Outcome)
+	}
+	fmt.Printf("\nfailures: %d of %d (success fraction %.3f, target %.2f)\n",
+		res.Failures(), len(res.Records), res.SuccessFraction(), cfg.Probability)
+}

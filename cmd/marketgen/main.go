@@ -1,0 +1,100 @@
+// Command marketgen generates synthetic Spot price histories — the
+// repository's stand-in for the retired EC2 price-history archive — and
+// writes them to disk as CSV or JSON, one file per (zone, type) combo.
+//
+// Usage:
+//
+//	marketgen -out data/ [-days 151] [-seed 42] [-format csv] [-combos 452] [-type c4.large]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "marketdata", "output directory")
+		days   = flag.Int("days", 151, "days of history (90-day lead + the paper's Oct-Dec window)")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		format = flag.String("format", "csv", "output format: csv or json")
+		limit  = flag.Int("combos", 0, "generate only the first N combos (0 = all 452)")
+		only   = flag.String("type", "", "restrict to one instance type")
+		start  = flag.String("start", "2016-07-02T00:00:00Z", "series start time (RFC3339)")
+	)
+	flag.Parse()
+	if err := run(*out, *days, *seed, *format, *limit, *only, *start); err != nil {
+		fmt.Fprintln(os.Stderr, "marketgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, days int, seed int64, format string, limit int, only, startStr string) error {
+	if days < 1 {
+		return fmt.Errorf("need at least one day")
+	}
+	if format != "csv" && format != "json" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	startAt, err := time.Parse(time.RFC3339, startStr)
+	if err != nil {
+		return fmt.Errorf("bad -start: %w", err)
+	}
+	combos := spot.Combos()
+	if only != "" {
+		var filtered []spot.Combo
+		for _, c := range combos {
+			if c.Type == spot.InstanceType(only) {
+				filtered = append(filtered, c)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("type %q not in the catalog footprint", only)
+		}
+		combos = filtered
+	}
+	if limit > 0 && limit < len(combos) {
+		combos = combos[:limit]
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	n := days * 24 * 12
+	gen := pricegen.Generator{Seed: seed}
+	for i, c := range combos {
+		s, err := gen.Series(c, startAt, n)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s_%s.%s", c.Zone, strings.ReplaceAll(string(c.Type), ".", "-"), format)
+		f, err := os.Create(filepath.Join(out, name))
+		if err != nil {
+			return err
+		}
+		if format == "csv" {
+			err = history.WriteCSV(f, c, s)
+		} else {
+			err = history.WriteJSON(f, c, s)
+		}
+		cerr := f.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+		if (i+1)%50 == 0 || i+1 == len(combos) {
+			fmt.Printf("wrote %d/%d series (%s, %s)\n", i+1, len(combos), c, pricegen.ArchetypeFor(c))
+		}
+	}
+	fmt.Printf("done: %d series x %d points under %s\n", len(combos), n, out)
+	return nil
+}

@@ -1,0 +1,117 @@
+// Command replay reproduces the paper's application-driven experiments
+// (§4.3) by replaying a Galaxies-shaped workload through the cloud
+// simulator:
+//
+//	replay -experiment table2   one replay: Original (80% On-demand) vs DrAFTS bids
+//	replay -experiment table3   35 simulated experiments x 3 strategies, averaged
+//
+// The workload defaults to the paper's scale: 1000 jobs over a 3h20m
+// submission window.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/cloudsim"
+	"github.com/drafts-go/drafts/internal/provisioner"
+	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "table2", "table2 | table3")
+		jobs       = flag.Int("jobs", 1000, "jobs in the workload")
+		runs       = flag.Int("runs", 35, "repeated experiments for table3")
+		seed       = flag.Int64("seed", 2016, "workload/operational seed")
+		priceSeed  = flag.Int64("price-seed", 428, "market realization seed")
+		warmup     = flag.Int("warmup", cloudsim.DefaultWarmupSteps, "price history steps before the replay")
+		traceIn    = flag.String("trace", "", "replay a recorded trace (CSV) instead of generating one")
+		traceOut   = flag.String("save-trace", "", "archive the generated trace to this CSV file")
+	)
+	flag.Parse()
+	if err := run(*experiment, *jobs, *runs, *seed, *priceSeed, *warmup, *traceIn, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func loadTrace(path string) (workload.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return workload.Trace{}, err
+	}
+	defer f.Close()
+	return workload.ReadCSV(f)
+}
+
+func saveTrace(path string, tr workload.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(experiment string, jobs, runs int, seed, priceSeed int64, warmup int, traceIn, traceOut string) error {
+	var trace workload.Trace
+	if traceIn != "" {
+		var err error
+		if trace, err = loadTrace(traceIn); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d-job trace from %s\n", len(trace.Jobs), traceIn)
+	} else {
+		trace = workload.Galaxies(jobs, 3*time.Hour+20*time.Minute, seed)
+	}
+	if traceOut != "" {
+		if err := saveTrace(traceOut, trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "archived trace to %s\n", traceOut)
+	}
+	base := cloudsim.Config{
+		Trace:       trace,
+		Region:      spot.USEast1,
+		Probability: 0.99,
+		Seed:        seed,
+		PriceSeed:   priceSeed,
+		WarmupSteps: warmup,
+	}
+	fmt.Fprintf(os.Stderr, "replaying %d jobs (%.1f machine-hours of work) in %s...\n",
+		len(trace.Jobs), trace.TotalWork().Hours(), base.Region)
+
+	switch experiment {
+	case "table2":
+		var reports []cloudsim.Report
+		for _, strat := range []provisioner.Strategy{provisioner.Original, provisioner.DrAFTS1Hr} {
+			cfg := base
+			cfg.Strategy = strat
+			rep, err := cloudsim.Run(cfg)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, rep)
+		}
+		fmt.Printf("\nTable 2: one workload replay under identical market conditions (p=0.99, 1-hr DrAFTS durations)\n\n")
+		return cloudsim.WriteTable2(os.Stdout, reports)
+	case "table3":
+		began := time.Now()
+		sums, err := cloudsim.CompareStrategies(base, runs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%d experiments x 3 strategies in %v\n",
+			runs, time.Since(began).Round(time.Second))
+		fmt.Printf("\nTable 3: averages over %d simulated experiments per method\n\n", runs)
+		return cloudsim.WriteTable3(os.Stdout, sums)
+	}
+	return fmt.Errorf("unknown experiment %q", experiment)
+}

@@ -1,0 +1,57 @@
+package drafts_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/drafts-go/drafts"
+)
+
+// ExampleNewPredictor shows the core workflow: feed a price history and
+// ask for the minimal bid guaranteeing a duration.
+func ExampleNewPredictor() {
+	combo := drafts.Combo{Zone: "us-east-1b", Type: "c4.large"}
+	start := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	series, _ := drafts.SyntheticHistory(combo, start, 3*30*24*12, 42)
+
+	pred, _ := drafts.NewPredictor(drafts.Params{Probability: 0.95}, series.Start)
+	pred.ObserveSeries(series)
+
+	quote, _ := pred.Advise(2 * time.Hour)
+	fmt.Printf("bid $%.4f/hour guarantees %v at p=%v\n", quote.Bid, quote.Duration, quote.Probability)
+	// Output: bid $0.0209/hour guarantees 49h50m0s at p=0.95
+}
+
+// ExampleOptimizeCost shows the paper's cost-optimization strategy: Spot
+// when the guaranteed bid undercuts On-demand, reliable tier otherwise.
+func ExampleOptimizeCost() {
+	start := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	combo := drafts.Combo{Zone: "us-east-1c", Type: "cg1.4xlarge"} // hostile market
+	series, _ := drafts.SyntheticHistory(combo, start, 20000, 7)
+	pred, _ := drafts.NewPredictor(drafts.Params{Probability: 0.99}, series.Start)
+	pred.ObserveSeries(series)
+
+	od, _ := drafts.ODPrice(combo.Type, combo.Zone.Region())
+	choice, _ := drafts.OptimizeCost(pred, od, time.Hour)
+	fmt.Printf("use spot: %v, worst case $%.2f/hour\n", choice.UseSpot, choice.HourlyWorstCase)
+	// Output: use spot: false, worst case $2.10/hour
+}
+
+// ExampleBidTable_BidFor picks the cheapest tabulated bid for a duration.
+func ExampleBidTable_BidFor() {
+	table := drafts.BidTable{
+		Probability: 0.99,
+		Points: []drafts.BidPoint{
+			{Bid: 0.10, Duration: time.Hour},
+			{Bid: 0.20, Duration: 6 * time.Hour},
+			{Bid: 0.40, Duration: 12 * time.Hour},
+		},
+	}
+	bid, ok := table.BidFor(4 * time.Hour)
+	fmt.Println(bid, ok)
+	_, ok = table.BidFor(24 * time.Hour)
+	fmt.Println(ok)
+	// Output:
+	// 0.2 true
+	// false
+}

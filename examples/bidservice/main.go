@@ -1,0 +1,69 @@
+// Bid service: run the DrAFTS prediction service in-process (the paper's
+// predictspotprice.cs.ucsb.edu, §3.3) and consume it through the typed
+// client — the integration pattern the Globus Galaxies provisioner used.
+//
+//	go run ./examples/bidservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/service"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func main() {
+	// Price source: three markets' worth of synthetic history.
+	combos := []spot.Combo{
+		{Zone: "us-east-1b", Type: "c4.large"},
+		{Zone: "us-east-1c", Type: "c4.large"},
+		{Zone: "us-east-1d", Type: "c4.large"},
+	}
+	start := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	store := history.NewStore()
+	if err := (pricegen.Generator{Seed: 42}).Populate(store, combos, start, 3*30*24*12); err != nil {
+		log.Fatal(err)
+	}
+
+	// The service recomputes tables every 15 minutes in production; here a
+	// single refresh is enough.
+	srv, err := service.New(service.Config{Source: store})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Println("service up at", ts.URL)
+
+	// A client picks the cheapest zone for a one-hour job at p=0.99 — the
+	// "fitness function" of the paper's launch experiments (§4.2).
+	cl := &service.Client{BaseURL: ts.URL}
+	available, err := cl.Combos()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service knows %d markets\n\n", len(available))
+
+	best := spot.Combo{}
+	bestBid := 0.0
+	for _, c := range available {
+		bid, err := cl.BidFor(c, 0.99, time.Hour)
+		if err != nil {
+			fmt.Printf("  %-24s cannot guarantee 1h: %v\n", c, err)
+			continue
+		}
+		fmt.Printf("  %-24s 1h guarantee at $%.4f/hour\n", c, bid)
+		if best == (spot.Combo{}) || bid < bestBid {
+			best, bestBid = c, bid
+		}
+	}
+	fmt.Printf("\nlaunch decision: %s with maximum bid $%.4f\n", best, bestBid)
+}

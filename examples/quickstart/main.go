@@ -1,0 +1,57 @@
+// Quickstart: ask DrAFTS for the smallest bid that keeps a Spot instance
+// alive for two hours with 95% probability.
+//
+// The price history comes from the library's synthetic market (the EC2
+// bidding market this models was retired in 2017); on a live system the
+// same Series would be filled from a price feed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/drafts-go/drafts"
+)
+
+func main() {
+	combo := drafts.Combo{Zone: "us-east-1b", Type: "c4.large"}
+
+	// Three months of 5-minute market prices.
+	start := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	series, err := drafts.SyntheticHistory(combo, start, 3*30*24*12, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the predictor and feed it the history.
+	pred, err := drafts.NewPredictor(drafts.Params{Probability: 0.95}, series.Start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred.ObserveSeries(series)
+
+	// The headline question: what do I bid for a 2-hour job?
+	quote, err := pred.Advise(2 * time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur := series.Prices[series.Len()-1]
+	od, _ := drafts.ODPrice(combo.Type, combo.Zone.Region())
+	fmt.Printf("market %s\n", combo)
+	fmt.Printf("  current spot price   $%.4f/hour\n", cur)
+	fmt.Printf("  on-demand price      $%.4f/hour\n", od)
+	fmt.Printf("  DrAFTS bid           $%.4f/hour\n", quote.Bid)
+	fmt.Printf("  guaranteed duration  %v at probability %.2f\n", quote.Duration, quote.Probability)
+	fmt.Printf("  worst-case saving    %.1f%% vs on-demand\n", 100*(1-quote.Bid/od))
+
+	// The full bid-duration relationship (Figure 4 of the paper).
+	table, _ := pred.Table()
+	fmt.Println("\nbid table (5% increments up to 4x the minimum bid):")
+	for _, p := range table.Points[:8] {
+		fmt.Printf("  $%.4f -> %v\n", p.Bid, p.Duration)
+	}
+	fmt.Printf("  ... %d more rows\n", len(table.Points)-8)
+}

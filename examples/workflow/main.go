@@ -1,0 +1,58 @@
+// Workflow replay: drive the §4.3 application experiment end to end — a
+// Galaxies-shaped batch workload provisioned on simulated Spot markets,
+// comparing the platform's original bids (80% of On-demand) against
+// DrAFTS-derived bids under identical market conditions.
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/cloudsim"
+	"github.com/drafts-go/drafts/internal/provisioner"
+	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/workload"
+)
+
+func main() {
+	// A 300-job slice of the kind of workload the paper replays (1000
+	// jobs over 3h20m); smaller here so the example runs in seconds.
+	trace := workload.Galaxies(300, 100*time.Minute, 2016)
+	fmt.Printf("workload: %d jobs, %.1f machine-hours, %d tools\n",
+		len(trace.Jobs), trace.TotalWork().Hours(), len(workload.Tools()))
+
+	base := cloudsim.Config{
+		Trace:       trace,
+		Region:      spot.USEast1,
+		Probability: 0.99,
+		Seed:        7,
+		PriceSeed:   11, // same market realization for every strategy
+		WarmupSteps: cloudsim.DefaultWarmupSteps,
+	}
+
+	var reports []cloudsim.Report
+	for _, strat := range provisioner.Strategies() {
+		cfg := base
+		cfg.Strategy = strat
+		rep, err := cloudsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, rep)
+		fmt.Printf("  %-18s %3d instances, cost $%.2f, worst-case $%.2f, %d revocations, makespan %v\n",
+			rep.Strategy, rep.Instances, rep.Cost, rep.MaxBidCost, rep.Terminations,
+			rep.Makespan.Round(time.Minute))
+	}
+
+	fmt.Println("\npaper-style table:")
+	if err := cloudsim.WriteTable2(os.Stdout, reports); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDrAFTS cuts the worst-case (bid-priced) exposure by picking the cheapest")
+	fmt.Println("guaranteed (type, zone) candidate and bidding only as high as the")
+	fmt.Println("durability target requires; profile-based durations tighten it further.")
+}

@@ -1,0 +1,3 @@
+module github.com/drafts-go/drafts
+
+go 1.22

@@ -1,0 +1,117 @@
+// Package ascii renders the paper's figures as terminal charts, so the
+// experiment commands can show the *shape* of each result (the CDF of
+// Figure 1, the bid series of Figures 2-3, the staircase of Figure 4)
+// next to the raw data they print.
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart is a fixed-size scatter/line canvas.
+type Chart struct {
+	Width, Height int
+	XLabel        string
+	YLabel        string
+}
+
+// defaultChart returns sensible terminal dimensions.
+func defaultChart() Chart { return Chart{Width: 64, Height: 16} }
+
+func (c Chart) normalized() Chart {
+	d := defaultChart()
+	if c.Width < 8 {
+		c.Width = d.Width
+	}
+	if c.Height < 4 {
+		c.Height = d.Height
+	}
+	return c
+}
+
+// Series renders y values against their x positions using the given mark
+// rune. Points with non-finite coordinates are skipped. Returns the chart
+// as a string, including axes and min/max annotations.
+func (c Chart) Series(xs, ys []float64, mark rune) string {
+	c = c.normalized()
+	var pts [][2]float64
+	for i := range xs {
+		if i >= len(ys) {
+			break
+		}
+		if isFinite(xs[i]) && isFinite(ys[i]) {
+			pts = append(pts, [2]float64{xs[i], ys[i]})
+		}
+	}
+	if len(pts) == 0 {
+		return "(no data)\n"
+	}
+	minX, maxX := pts[0][0], pts[0][0]
+	minY, maxY := pts[0][1], pts[0][1]
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+		minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, c.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", c.Width))
+	}
+	for _, p := range pts {
+		col := int((p[0] - minX) / (maxX - minX) * float64(c.Width-1))
+		row := c.Height - 1 - int((p[1]-minY)/(maxY-minY)*float64(c.Height-1))
+		grid[row][col] = mark
+	}
+
+	var b strings.Builder
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", c.YLabel)
+	}
+	fmt.Fprintf(&b, "%10.4f |%s|\n", maxY, string(grid[0]))
+	for r := 1; r < c.Height-1; r++ {
+		fmt.Fprintf(&b, "%10s |%s|\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.4f |%s|\n", minY, string(grid[c.Height-1]))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", c.Width/2, minX, c.Width-c.Width/2, maxX)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%10s  %s\n", "", center(c.XLabel, c.Width))
+	}
+	return b.String()
+}
+
+// Line renders a y series against its indices.
+func (c Chart) Line(ys []float64) string {
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return c.Series(xs, ys, '*')
+}
+
+// CDF renders sorted sample values as an empirical CDF curve.
+func (c Chart) CDF(sorted []float64) string {
+	n := len(sorted)
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = float64(i+1) / float64(n)
+	}
+	return c.Series(sorted, ys, '*')
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	pad := (width - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}

@@ -1,0 +1,96 @@
+package ascii
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineRendersMarks(t *testing.T) {
+	out := Chart{Width: 20, Height: 6}.Line([]float64{1, 2, 3, 4, 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no marks in output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // 6 rows + x-axis annotation
+		t.Errorf("%d lines, want 7:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "5.0000") {
+		t.Errorf("max annotation missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[5], "1.0000") {
+		t.Errorf("min annotation missing: %q", lines[5])
+	}
+}
+
+func TestSeriesIncreasingLineSlopesUp(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 2, 3}
+	out := Chart{Width: 8, Height: 4}.Series(xs, ys, '#')
+	rows := strings.Split(out, "\n")
+	// The top row's mark must be to the right of the bottom row's mark.
+	top := strings.IndexRune(rows[0], '#')
+	bottom := strings.IndexRune(rows[3], '#')
+	if top <= bottom {
+		t.Errorf("line does not slope up: top mark at %d, bottom at %d\n%s", top, bottom, out)
+	}
+}
+
+func TestSeriesSkipsNonFinite(t *testing.T) {
+	out := (Chart{}).Series(
+		[]float64{0, math.NaN(), 2},
+		[]float64{1, 5, math.Inf(1)},
+		'*')
+	if strings.Count(out, "*") != 1 {
+		t.Errorf("expected a single finite point:\n%s", out)
+	}
+}
+
+func TestEmptyData(t *testing.T) {
+	out := (Chart{}).Line(nil)
+	if out != "(no data)\n" {
+		t.Errorf("empty data output %q", out)
+	}
+	out = (Chart{}).Series([]float64{math.NaN()}, []float64{1}, '*')
+	if out != "(no data)\n" {
+		t.Errorf("all-NaN output %q", out)
+	}
+}
+
+func TestConstantSeriesDoesNotDivideByZero(t *testing.T) {
+	out := Chart{Width: 10, Height: 4}.Line([]float64{2, 2, 2})
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series lost its marks:\n%s", out)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	out := Chart{Width: 30, Height: 8}.CDF([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	rows := strings.Split(out, "\n")
+	prev := -1
+	// Scanning bottom-up, the leftmost mark column must not decrease.
+	for r := 7; r >= 0; r-- {
+		col := strings.IndexRune(rows[r], '*')
+		if col < 0 {
+			continue
+		}
+		if prev >= 0 && col < prev {
+			t.Errorf("CDF not monotone at row %d:\n%s", r, out)
+		}
+		prev = col
+	}
+}
+
+func TestLabels(t *testing.T) {
+	out := Chart{Width: 20, Height: 5, XLabel: "bid", YLabel: "hours"}.Line([]float64{1, 2})
+	if !strings.Contains(out, "hours") || !strings.Contains(out, "bid") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+}
+
+func TestTinyDimensionsNormalized(t *testing.T) {
+	out := Chart{Width: 1, Height: 1}.Line([]float64{1, 2, 3})
+	if out == "(no data)\n" || !strings.Contains(out, "*") {
+		t.Errorf("normalization failed:\n%s", out)
+	}
+}

@@ -1,0 +1,238 @@
+package backtest
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/baselines"
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+var t0 = time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func seriesFor(seed int64, n int) func(spot.Combo) (*history.Series, error) {
+	gen := pricegen.Generator{Seed: seed}
+	return func(c spot.Combo) (*history.Series, error) {
+		return gen.Series(c, t0, n)
+	}
+}
+
+func smallConfig() Config {
+	return Config{
+		Probability: 0.95,
+		NumRequests: 80,
+		MaxDuration: 6 * time.Hour,
+		HistoryLead: 7000,
+		Seed:        11,
+		Workers:     4,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Probability: 0},
+		{Probability: 1.2},
+		{Probability: 0.9, NumRequests: -1},
+		{Probability: 0.9, MaxDuration: time.Second},
+		{Probability: 0.9, HistoryLead: -5},
+	}
+	for i, c := range bad {
+		if _, err := c.withDefaults(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	c, err := Config{Probability: 0.99}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRequests != 300 || c.MaxDuration != 12*time.Hour || c.Confidence != 0.99 || c.Workers < 1 {
+		t.Errorf("defaults: %+v", c)
+	}
+}
+
+func TestRunWindowTooSmall(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HistoryLead = 11000
+	_, err := Run(cfg, []spot.Combo{{Zone: "us-east-1b", Type: "c4.large"}}, seriesFor(1, 11050))
+	if err == nil {
+		t.Error("tiny window accepted")
+	}
+}
+
+func TestRunCorrectnessShape(t *testing.T) {
+	combos := []spot.Combo{
+		{Zone: "us-east-1b", Type: "c4.large"},    // calm
+		{Zone: "us-west-1a", Type: "c3.2xlarge"},  // volatile
+		{Zone: "us-east-1c", Type: "cg1.4xlarge"}, // hostile
+		{Zone: "us-west-2c", Type: "m1.large"},    // cheap
+	}
+	outs, err := Run(smallConfig(), combos, seriesFor(2, 12000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(combos) {
+		t.Fatalf("%d outcomes", len(outs))
+	}
+	byCombo := map[spot.Combo]ComboOutcome{}
+	for _, o := range outs {
+		byCombo[o.Combo] = o
+		if o.Requests != 80 {
+			t.Errorf("%v: %d requests", o.Combo, o.Requests)
+		}
+		// DrAFTS must meet its durability target (with sampling slack) on
+		// every combo — the headline Table-1 property.
+		slack := 2.5 * math.Sqrt(0.95*0.05/80)
+		if f := o.Fractions[baselines.MethodDrAFTS]; f < 0.95-slack {
+			t.Errorf("%v: DrAFTS fraction %.3f below target", o.Combo, f)
+		}
+		for m, f := range o.Fractions {
+			if f < 0 || f > 1 {
+				t.Errorf("%v %s: fraction %v", o.Combo, m, f)
+			}
+		}
+		if o.StrategyCost > o.ODCost+1e-9 {
+			t.Errorf("%v: strategy cost %v exceeds OD cost %v — min() strategy cannot lose",
+				o.Combo, o.StrategyCost, o.ODCost)
+		}
+	}
+	// On the hostile combo the On-demand bid is always at or below the
+	// market price, so every launch fails (§4.1.2's cg1.4xlarge story).
+	hostile := byCombo[spot.Combo{Zone: "us-east-1c", Type: "cg1.4xlarge"}]
+	if f := hostile.Fractions[baselines.MethodOnDemand]; f != 0 {
+		t.Errorf("hostile combo On-demand fraction = %v, want 0", f)
+	}
+	// On the cheap combo, meaningful savings must appear (m1.large story:
+	// bids around $0.10 against OD $0.175).
+	cheap := byCombo[spot.Combo{Zone: "us-west-2c", Type: "m1.large"}]
+	if cheap.StrategyCost >= cheap.ODCost {
+		t.Errorf("cheap combo: no savings (%v vs %v)", cheap.StrategyCost, cheap.ODCost)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	combos := []spot.Combo{{Zone: "us-east-1b", Type: "m4.large"}}
+	a, err := Run(smallConfig(), combos, seriesFor(3, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(), combos, seriesFor(3, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, f := range a[0].Fractions {
+		if b[0].Fractions[m] != f {
+			t.Errorf("method %s: %v != %v across identical runs", m, f, b[0].Fractions[m])
+		}
+	}
+	if a[0].StrategyCost != b[0].StrategyCost {
+		t.Error("strategy cost not deterministic")
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	outs := []ComboOutcome{
+		{Combo: spot.Combo{Zone: "z1", Type: "a"}, Fractions: map[string]float64{"M": 1.0}},
+		{Combo: spot.Combo{Zone: "z1", Type: "b"}, Fractions: map[string]float64{"M": 0.995}},
+		{Combo: spot.Combo{Zone: "z1", Type: "c"}, Fractions: map[string]float64{"M": 0.97}},
+	}
+	b := BucketTable(outs, 0.99)["M"]
+	if b.Perfect != 1 || b.AtTarget != 1 || b.Below != 1 || b.Total() != 3 {
+		t.Errorf("buckets = %+v", b)
+	}
+	below, at, perfect := b.Frac()
+	if math.Abs(below-1.0/3) > 1e-12 || math.Abs(at-1.0/3) > 1e-12 || math.Abs(perfect-1.0/3) > 1e-12 {
+		t.Errorf("fracs = %v %v %v", below, at, perfect)
+	}
+	var empty Buckets
+	if b, a, p := empty.Frac(); b != 0 || a != 0 || p != 0 {
+		t.Error("empty bucket fracs nonzero")
+	}
+}
+
+func TestFractionCDF(t *testing.T) {
+	outs := []ComboOutcome{
+		{Fractions: map[string]float64{"M": 0.5}},
+		{Fractions: map[string]float64{"M": 1.0}},
+		{Fractions: map[string]float64{"M": 0.2}},
+		{Fractions: map[string]float64{"M": 0.99}},
+	}
+	fs := FractionCDF(outs, "M", 0.99)
+	if len(fs) != 2 || fs[0] != 0.2 || fs[1] != 0.5 {
+		t.Errorf("CDF = %v", fs)
+	}
+	if fs := FractionCDF(outs, "nope", 0.99); len(fs) != 0 {
+		t.Errorf("unknown method CDF = %v", fs)
+	}
+}
+
+func TestCostByZone(t *testing.T) {
+	outs := []ComboOutcome{
+		{Combo: spot.Combo{Zone: "us-west-2c", Type: "a"}, ODCost: 100, StrategyCost: 60},
+		{Combo: spot.Combo{Zone: "us-east-1b", Type: "b"}, ODCost: 50, StrategyCost: 50},
+		{Combo: spot.Combo{Zone: "us-west-2c", Type: "c"}, ODCost: 100, StrategyCost: 40},
+	}
+	rows := CostByZone(outs)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Zone != "us-east-1b" || rows[1].Zone != "us-west-2c" {
+		t.Errorf("row order: %v", rows)
+	}
+	if rows[1].ODCost != 200 || rows[1].StrategyCost != 100 {
+		t.Errorf("aggregation: %+v", rows[1])
+	}
+	if got := rows[1].SavingsPct(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("savings = %v", got)
+	}
+	if (ZoneCost{}).SavingsPct() != 0 {
+		t.Error("zero-cost savings should be 0")
+	}
+}
+
+func TestIndistinguishable(t *testing.T) {
+	outs := []ComboOutcome{
+		// 296/300 = 0.9867: below 0.99 but within Wilson noise of it.
+		{Requests: 300, Fractions: map[string]float64{"M": 296.0 / 300}},
+		// 270/300 = 0.90: decisively below.
+		{Requests: 300, Fractions: map[string]float64{"M": 0.90}},
+		// At target: not counted at all.
+		{Requests: 300, Fractions: map[string]float64{"M": 0.99}},
+	}
+	below, noise := Indistinguishable(outs, "M", 0.99, 0.95)
+	if below != 2 {
+		t.Errorf("below = %d, want 2", below)
+	}
+	if noise != 1 {
+		t.Errorf("noise = %d, want 1", noise)
+	}
+	if b, n := Indistinguishable(outs, "missing", 0.99, 0.95); b != 0 || n != 0 {
+		t.Errorf("unknown method: %d, %d", b, n)
+	}
+}
+
+func TestWriters(t *testing.T) {
+	buckets := map[string]Buckets{
+		baselines.MethodDrAFTS:   {Perfect: 3},
+		baselines.MethodOnDemand: {Below: 1, AtTarget: 1, Perfect: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteBucketTable(&buf, buckets, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DrAFTS") || !strings.Contains(buf.String(), "100.0%") {
+		t.Errorf("bucket table output:\n%s", buf.String())
+	}
+	buf.Reset()
+	rows := []ZoneCost{{Zone: "us-east-1b", ODCost: 100, StrategyCost: 80}}
+	if err := WriteZoneCosts(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "20.00%") {
+		t.Errorf("zone cost output:\n%s", buf.String())
+	}
+}

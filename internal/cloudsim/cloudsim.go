@@ -1,0 +1,525 @@
+// Package cloudsim is the discrete-event cloud simulator behind the
+// paper's application-driven experiments (§4.3, Tables 2 and 3) — the
+// stand-in for the authors' SCRIMP provisioning simulator. It replays a
+// workload trace against synthetic Spot markets and a cost-aware
+// provisioner, reproducing the platform mechanics the paper describes:
+//
+//   - jobs queue per tool and run one at a time on instances of a
+//     suitable type;
+//   - the provisioner launches instances (with a calibrated request
+//     latency) using one of the Table-3 bid strategies and, for the
+//     DrAFTS strategies, picks the (type, zone) candidate with the
+//     smallest maximum bid;
+//   - instances are billed by the hour at the hour-start market price,
+//     kept alive while busy, and released at the first hour boundary at
+//     which they sit idle (the cost-aware reuse that packs ~3 jobs into
+//     each paid instance-hour);
+//   - when the market price reaches an instance's bid the provider
+//     revokes it: the in-flight job is requeued and re-executed from
+//     scratch, and the revocation is tallied (Table 3's terminations
+//     column).
+package cloudsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/billing"
+	"github.com/drafts-go/drafts/internal/core"
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/provisioner"
+	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/stats"
+	"github.com/drafts-go/drafts/internal/workload"
+)
+
+// Config parameterizes one simulated replay.
+type Config struct {
+	Trace    workload.Trace
+	Region   spot.Region
+	Strategy provisioner.Strategy
+	// Probability is the DrAFTS durability target (the paper uses 0.99
+	// for the platform experiments).
+	Probability float64
+	// Seed drives operational randomness (launch delays).
+	Seed int64
+	// PriceSeed drives the market realization; hold it fixed across
+	// strategies to compare them under identical market conditions (§4.3:
+	// the simulator "enables low cost experimentation under identical
+	// market conditions").
+	PriceSeed int64
+	// WarmupSteps of price history precede the replay (default one month
+	// of 5-minute periods — enough for QBETS to warm, cheaper to simulate
+	// than the paper's full three months).
+	WarmupSteps int
+	// Start is the replay start time.
+	Start time.Time
+	// MeanLaunchDelay and LaunchDelaySigma parameterize the lognormal
+	// instance request latency (calibrated overheads, §4.3).
+	MeanLaunchDelay  time.Duration
+	LaunchDelaySigma float64
+	// MaxSimTime caps the simulation (guards against livelock).
+	MaxSimTime time.Duration
+}
+
+// DefaultWarmupSteps is one month of market history.
+const DefaultWarmupSteps = 30 * 24 * 12
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Trace.Jobs) == 0 {
+		return c, fmt.Errorf("cloudsim: empty trace")
+	}
+	if err := c.Trace.Validate(); err != nil {
+		return c, err
+	}
+	if len(spot.ZonesOf(c.Region)) == 0 {
+		return c, fmt.Errorf("cloudsim: unknown region %q", c.Region)
+	}
+	if c.Probability == 0 {
+		c.Probability = 0.99
+	}
+	if !(c.Probability > 0 && c.Probability < 1) {
+		return c, fmt.Errorf("cloudsim: probability %v outside (0,1)", c.Probability)
+	}
+	if c.WarmupSteps == 0 {
+		c.WarmupSteps = DefaultWarmupSteps
+	}
+	if c.WarmupSteps < 200 {
+		return c, fmt.Errorf("cloudsim: warmup %d too short for predictions", c.WarmupSteps)
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.MeanLaunchDelay == 0 {
+		c.MeanLaunchDelay = 90 * time.Second
+	}
+	if c.MeanLaunchDelay < 0 {
+		return c, fmt.Errorf("cloudsim: negative launch delay")
+	}
+	if c.LaunchDelaySigma == 0 {
+		c.LaunchDelaySigma = 0.4
+	}
+	if c.MaxSimTime == 0 {
+		c.MaxSimTime = 48 * time.Hour
+	}
+	return c, nil
+}
+
+// Report summarizes one replay (one row of Table 2, one sample of Table 3).
+type Report struct {
+	Strategy      string
+	Instances     int     // instances provisioned
+	Cost          float64 // actual billed cost
+	MaxBidCost    float64 // worst case: every chargeable hour at the bid
+	Terminations  int     // provider revocations
+	JobsCompleted int
+	Makespan      time.Duration
+}
+
+// event kinds.
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evInstanceReady
+	evJobFinish
+	evHourBoundary
+	evPriceStep
+)
+
+type event struct {
+	at   time.Time
+	seq  int64
+	kind eventKind
+	job  workload.Job
+	inst *instance
+	dec  provisioner.Decision
+	tool string
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// instance is one provisioned Spot instance.
+type instance struct {
+	combo      spot.Combo
+	bid        float64
+	tool       string
+	started    time.Time
+	terminated bool
+	idle       bool
+	job        workload.Job // valid when !idle
+	hasJob     bool
+}
+
+// comboState is the lazily built market view for one combo.
+type comboState struct {
+	series *history.Series
+	pred   *core.Predictor
+	fed    int
+}
+
+type quoteKey struct {
+	combo spot.Combo
+	step  int
+	need  time.Duration
+}
+
+// engine is one replay in flight.
+type engine struct {
+	cfg       Config
+	rng       *stats.RNG
+	gen       pricegen.Generator
+	states    map[spot.Combo]*comboState
+	seriesLen int
+
+	events eventHeap
+	seq    int64
+	now    time.Time
+
+	queue      *provisioner.Queue
+	pending    map[string]int // instances launching, per tool
+	idle       map[string][]*instance
+	live       []*instance // all non-terminated instances
+	running    int
+	quoteCache map[quoteKey]quoteVal
+
+	report Report
+}
+
+type quoteVal struct {
+	q   core.Quote
+	err error
+}
+
+// Run executes one simulated replay.
+func Run(cfg Config) (Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+	e := &engine{
+		cfg:        cfg,
+		rng:        stats.NewRNG(stats.ForkSeed(cfg.Seed, 0xc10d)),
+		gen:        pricegen.Generator{Seed: cfg.PriceSeed},
+		states:     make(map[spot.Combo]*comboState),
+		seriesLen:  cfg.WarmupSteps + int(cfg.MaxSimTime/spot.UpdatePeriod) + 24,
+		queue:      provisioner.NewQueue(),
+		pending:    make(map[string]int),
+		idle:       make(map[string][]*instance),
+		quoteCache: make(map[quoteKey]quoteVal),
+		report:     Report{Strategy: cfg.Strategy.String()},
+	}
+	e.now = cfg.Start
+	for _, j := range cfg.Trace.Jobs {
+		e.schedule(cfg.Start.Add(j.Submit), &event{kind: evArrival, job: j})
+	}
+	e.schedule(cfg.Start.Add(spot.UpdatePeriod), &event{kind: evPriceStep})
+
+	deadline := cfg.Start.Add(cfg.MaxSimTime)
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		if e.now.After(deadline) {
+			return e.report, fmt.Errorf("cloudsim: exceeded MaxSimTime %v with %d/%d jobs done",
+				cfg.MaxSimTime, e.report.JobsCompleted, len(cfg.Trace.Jobs))
+		}
+		switch ev.kind {
+		case evArrival:
+			e.queue.Push(ev.job)
+			e.provision(ev.job.Profile)
+		case evInstanceReady:
+			e.instanceReady(ev)
+		case evJobFinish:
+			e.jobFinish(ev)
+		case evHourBoundary:
+			e.hourBoundary(ev)
+		case evPriceStep:
+			e.priceStep()
+		}
+	}
+	if e.report.JobsCompleted != len(cfg.Trace.Jobs) {
+		return e.report, fmt.Errorf("cloudsim: finished with %d/%d jobs completed",
+			e.report.JobsCompleted, len(cfg.Trace.Jobs))
+	}
+	return e.report, nil
+}
+
+func (e *engine) schedule(at time.Time, ev *event) {
+	ev.at = at
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+}
+
+// seriesStart is when each combo's price history begins.
+func (e *engine) seriesStart() time.Time {
+	return e.cfg.Start.Add(-time.Duration(e.cfg.WarmupSteps) * spot.UpdatePeriod)
+}
+
+// stepIndex maps a sim time to the price-grid index in force.
+func (e *engine) stepIndex(t time.Time) int {
+	return int(t.Sub(e.seriesStart()) / spot.UpdatePeriod)
+}
+
+func (e *engine) state(c spot.Combo) (*comboState, error) {
+	st, ok := e.states[c]
+	if ok {
+		return st, nil
+	}
+	s, err := e.gen.Series(c, e.seriesStart(), e.seriesLen)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := core.NewPredictor(core.Params{
+		Probability: e.cfg.Probability,
+		MaxHistory:  core.DefaultMaxHistory,
+	}, s.Start)
+	if err != nil {
+		return nil, err
+	}
+	st = &comboState{series: s, pred: pred}
+	e.states[c] = st
+	return st, nil
+}
+
+// advance feeds the predictor every price announced up to (and including)
+// the grid point in force at the current sim time.
+func (st *comboState) advance(upto int) {
+	if upto >= st.series.Len() {
+		upto = st.series.Len() - 1
+	}
+	for st.fed <= upto {
+		st.pred.Observe(st.series.Prices[st.fed])
+		st.fed++
+	}
+}
+
+// priceAt returns a combo's market price at time t.
+func (e *engine) priceAt(c spot.Combo, t time.Time) (float64, error) {
+	st, err := e.state(c)
+	if err != nil {
+		return 0, err
+	}
+	p, ok := st.series.At(t)
+	if !ok {
+		return 0, fmt.Errorf("cloudsim: no price for %v at %v", c, t)
+	}
+	return p, nil
+}
+
+// Advise implements provisioner.Quoter with present-moment predictor
+// state, a per-step memoization cache, and a floor one tick above the
+// current market price (no rational submission bids at or below it).
+func (e *engine) Advise(c spot.Combo, d time.Duration) (core.Quote, error) {
+	step := e.stepIndex(e.now)
+	key := quoteKey{combo: c, step: step, need: d}
+	if v, ok := e.quoteCache[key]; ok {
+		return v.q, v.err
+	}
+	st, err := e.state(c)
+	if err != nil {
+		return core.Quote{}, err
+	}
+	st.advance(step)
+	q, aerr := st.pred.Advise(d)
+	if cur, perr := e.priceAt(c, e.now); perr == nil {
+		if floor := spot.NextTickAbove(cur); q.Bid < floor {
+			q.Bid = floor
+		}
+	}
+	e.quoteCache[key] = quoteVal{q: q, err: aerr}
+	return q, aerr
+}
+
+// OnDemand implements provisioner.Quoter.
+func (e *engine) OnDemand(c spot.Combo) (float64, error) {
+	return spot.ODPrice(c.Type, c.Zone.Region())
+}
+
+// provision reacts to queue changes for one tool: idle instances pick up
+// work immediately; any remaining backlog beyond in-flight launches
+// triggers new instance requests.
+func (e *engine) provision(prof workload.Profile) {
+	tool := prof.Tool
+	// Idle instances absorb queued jobs first. Terminated stragglers left
+	// in the list by hourly releases or revocations are dropped here.
+	idles := e.idle[tool]
+	for len(idles) > 0 && e.queue.Len(tool) > 0 {
+		inst := idles[len(idles)-1]
+		idles = idles[:len(idles)-1]
+		if inst.terminated {
+			continue
+		}
+		job, _ := e.queue.Pop(tool)
+		e.startJob(inst, job)
+	}
+	e.idle[tool] = idles
+
+	backlog := e.queue.Len(tool) - e.pending[tool]
+	for i := 0; i < backlog; i++ {
+		dec, err := provisioner.Choose(e.cfg.Strategy, e, e.cfg.Region, prof)
+		if err != nil {
+			// No market can serve this profile right now; the backlog
+			// stays queued and the next event retries.
+			return
+		}
+		delay := time.Duration(e.rng.LogNormal(
+			math.Log(e.cfg.MeanLaunchDelay.Seconds()), e.cfg.LaunchDelaySigma)) * time.Second
+		if delay < time.Second {
+			delay = time.Second
+		}
+		e.pending[tool]++
+		e.schedule(e.now.Add(delay), &event{kind: evInstanceReady, dec: dec, tool: tool})
+	}
+}
+
+func (e *engine) instanceReady(ev *event) {
+	e.pending[ev.tool]--
+	cur, err := e.priceAt(ev.dec.Combo, e.now)
+	if err != nil || ev.dec.Bid <= cur {
+		// Launch failure: the market moved above the bid during the
+		// request latency. Retry provisioning for any remaining backlog.
+		if e.queue.Len(ev.tool) > 0 {
+			if p, perr := workload.ProfileFor(ev.tool); perr == nil {
+				e.provision(p)
+			}
+		}
+		return
+	}
+	inst := &instance{
+		combo:   ev.dec.Combo,
+		bid:     ev.dec.Bid,
+		tool:    ev.tool,
+		started: e.now,
+		idle:    true,
+	}
+	e.report.Instances++
+	e.running++
+	e.schedule(e.now.Add(time.Hour), &event{kind: evHourBoundary, inst: inst})
+	e.live = append(e.live, inst)
+	if job, ok := e.queue.Pop(ev.tool); ok {
+		e.startJob(inst, job)
+	} else {
+		e.idle[ev.tool] = append(e.idle[ev.tool], inst)
+	}
+}
+
+func (e *engine) startJob(inst *instance, job workload.Job) {
+	inst.idle = false
+	inst.job = job
+	inst.hasJob = true
+	e.schedule(e.now.Add(job.Runtime), &event{kind: evJobFinish, inst: inst, job: job})
+}
+
+func (e *engine) jobFinish(ev *event) {
+	inst := ev.inst
+	if inst.terminated || !inst.hasJob || inst.job.ID != ev.job.ID {
+		return // stale event: the instance was revoked mid-job
+	}
+	e.report.JobsCompleted++
+	if mk := ev.at.Sub(e.cfg.Start); mk > e.report.Makespan {
+		e.report.Makespan = mk
+	}
+	inst.hasJob = false
+	if job, ok := e.queue.Pop(inst.tool); ok {
+		e.startJob(inst, job)
+	} else {
+		inst.idle = true
+		e.idle[inst.tool] = append(e.idle[inst.tool], inst)
+	}
+}
+
+func (e *engine) hourBoundary(ev *event) {
+	inst := ev.inst
+	if inst.terminated {
+		return
+	}
+	if inst.idle {
+		e.release(inst, billing.UserTerminated)
+		return
+	}
+	e.schedule(e.now.Add(time.Hour), &event{kind: evHourBoundary, inst: inst})
+}
+
+// priceStep applies the 5-minute market repricing: every live instance
+// whose bid the new price reached is revoked. Terminated instances are
+// compacted out of the live list as a side effect.
+func (e *engine) priceStep() {
+	var revoked []*instance
+	kept := e.live[:0]
+	for _, inst := range e.live {
+		if inst.terminated {
+			continue
+		}
+		kept = append(kept, inst)
+		if e.bidOverrun(inst) {
+			revoked = append(revoked, inst)
+		}
+	}
+	e.live = kept
+	for _, inst := range revoked {
+		e.revoke(inst)
+	}
+	if e.report.JobsCompleted < len(e.cfg.Trace.Jobs) || e.running > 0 {
+		e.schedule(e.now.Add(spot.UpdatePeriod), &event{kind: evPriceStep})
+	}
+}
+
+func (e *engine) bidOverrun(inst *instance) bool {
+	p, err := e.priceAt(inst.combo, e.now)
+	if err != nil {
+		return false
+	}
+	return p >= inst.bid
+}
+
+// revoke is a provider termination (§2.1): the current job is requeued and
+// the final partial hour is not charged.
+func (e *engine) revoke(inst *instance) {
+	if inst.terminated {
+		return
+	}
+	e.report.Terminations++
+	if inst.hasJob {
+		e.queue.Requeue(inst.job)
+		inst.hasJob = false
+	}
+	tool := inst.tool
+	e.release(inst, billing.ProviderTerminated)
+	if p, err := workload.ProfileFor(tool); err == nil {
+		e.provision(p)
+	}
+}
+
+// release finalizes an instance and bills it.
+func (e *engine) release(inst *instance, reason billing.Reason) {
+	inst.terminated = true
+	e.running--
+	st, err := e.state(inst.combo)
+	if err == nil {
+		if cost, cerr := billing.Cost(st.series, inst.started, e.now, reason); cerr == nil {
+			e.report.Cost += cost
+		}
+	}
+	e.report.MaxBidCost += billing.Risk(inst.bid, inst.started, e.now, reason)
+}

@@ -1,0 +1,240 @@
+package cloudsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/provisioner"
+	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/workload"
+)
+
+func smallTrace(n int, seed int64) workload.Trace {
+	return workload.Galaxies(n, time.Hour, seed)
+}
+
+func smallConfig(strategy provisioner.Strategy) Config {
+	return Config{
+		Trace:       smallTrace(60, 1),
+		Region:      spot.USEast1,
+		Strategy:    strategy,
+		Seed:        2,
+		PriceSeed:   3,
+		WarmupSteps: 2500,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ok := smallConfig(provisioner.Original)
+	bad := []func(*Config){
+		func(c *Config) { c.Trace = workload.Trace{} },
+		func(c *Config) { c.Region = "mars-north-1" },
+		func(c *Config) { c.Probability = 2 },
+		func(c *Config) { c.WarmupSteps = 10 },
+		func(c *Config) { c.MeanLaunchDelay = -time.Second },
+		func(c *Config) { c.Trace.Jobs[0].Runtime = 0 },
+	}
+	for i, mutate := range bad {
+		c := ok
+		c.Trace = smallTrace(60, 1) // fresh copy, some mutations touch jobs
+		mutate(&c)
+		if _, err := c.withDefaults(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	c, err := ok.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Probability != 0.99 || c.MeanLaunchDelay != 90*time.Second || c.MaxSimTime != 48*time.Hour {
+		t.Errorf("defaults: %+v", c)
+	}
+}
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	for _, strat := range provisioner.Strategies() {
+		rep, err := Run(smallConfig(strat))
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if rep.JobsCompleted != 60 {
+			t.Errorf("%v: %d/60 jobs", strat, rep.JobsCompleted)
+		}
+		if rep.Instances == 0 {
+			t.Errorf("%v: no instances provisioned", strat)
+		}
+		if rep.Instances > 60 {
+			t.Errorf("%v: %d instances for 60 jobs — no reuse at all", strat, rep.Instances)
+		}
+		if rep.Cost <= 0 {
+			t.Errorf("%v: cost %v", strat, rep.Cost)
+		}
+		if rep.MaxBidCost < rep.Cost {
+			t.Errorf("%v: worst-case cost %v below actual %v", strat, rep.MaxBidCost, rep.Cost)
+		}
+		if rep.Makespan <= 0 || rep.Makespan > 47*time.Hour {
+			t.Errorf("%v: makespan %v", strat, rep.Makespan)
+		}
+		if rep.Strategy != strat.String() {
+			t.Errorf("%v: strategy label %q", strat, rep.Strategy)
+		}
+	}
+}
+
+// TestTable2Shape: under identical market conditions the DrAFTS strategy
+// must cost no more than the Original strategy and carry much less
+// worst-case risk (the paper's Table 2: $91.78 vs $106.10 cost, $98.60 vs
+// $176.98 risk).
+func TestTable2Shape(t *testing.T) {
+	trace := workload.Galaxies(150, 80*time.Minute, 5)
+	base := Config{
+		Trace:       trace,
+		Region:      spot.USEast1,
+		Seed:        7,
+		PriceSeed:   11,
+		WarmupSteps: 2500,
+	}
+	orig := base
+	orig.Strategy = provisioner.Original
+	repO, err := Run(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := base
+	dr.Strategy = provisioner.DrAFTS1Hr
+	repD, err := Run(dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repD.Cost > repO.Cost*1.05 {
+		t.Errorf("DrAFTS cost %.2f not below Original %.2f", repD.Cost, repO.Cost)
+	}
+	if repD.MaxBidCost > repO.MaxBidCost*0.8 {
+		t.Errorf("DrAFTS risk %.2f not well below Original %.2f", repD.MaxBidCost, repO.MaxBidCost)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(smallConfig(provisioner.DrAFTS1Hr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(provisioner.DrAFTS1Hr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunManyAverages(t *testing.T) {
+	cfg := smallConfig(provisioner.Original)
+	cfg.Trace = smallTrace(30, 9)
+	sum, err := RunMany(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs != 3 || sum.AvgInstances <= 0 || sum.AvgCost <= 0 {
+		t.Errorf("summary: %+v", sum)
+	}
+	if _, err := RunMany(cfg, 0); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+// TestTable3Shape: across repeated experiments, DrAFTS strategies must
+// reduce worst-case risk versus Original, and the profile-based bid (being
+// tighter) must not reduce terminations below the 1-hour bid.
+func TestTable3Shape(t *testing.T) {
+	cfg := Config{
+		Trace:       workload.Galaxies(80, time.Hour, 13),
+		Region:      spot.USEast1,
+		Seed:        17,
+		PriceSeed:   19,
+		WarmupSteps: 2500,
+	}
+	sums, err := CompareStrategies(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 3 {
+		t.Fatalf("%d summaries", len(sums))
+	}
+	orig, oneHr, prof := sums[0], sums[1], sums[2]
+	if oneHr.AvgMaxBidCost >= orig.AvgMaxBidCost {
+		t.Errorf("DrAFTS 1-hr risk %.2f not below Original %.2f", oneHr.AvgMaxBidCost, orig.AvgMaxBidCost)
+	}
+	if prof.AvgMaxBidCost > oneHr.AvgMaxBidCost*1.1 {
+		t.Errorf("profile risk %.2f above 1-hr risk %.2f", prof.AvgMaxBidCost, oneHr.AvgMaxBidCost)
+	}
+	if prof.AvgTerminations+0.01 < oneHr.AvgTerminations {
+		t.Errorf("profile terminations %.2f below 1-hr %.2f despite tighter bids",
+			prof.AvgTerminations, oneHr.AvgTerminations)
+	}
+}
+
+func TestWriters(t *testing.T) {
+	var buf bytes.Buffer
+	reports := []Report{{Strategy: "Original", Instances: 10, Cost: 5.5, MaxBidCost: 12.25}}
+	if err := WriteTable2(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "$12.25") {
+		t.Errorf("table 2 output:\n%s", buf.String())
+	}
+	buf.Reset()
+	sums := []Summary{{Strategy: "DrAFTS (1-hr)", AvgInstances: 22.5, AvgCost: 3, AvgMaxBidCost: 4, AvgTerminations: 0.25}}
+	if err := WriteTable3(&buf, sums); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.25") {
+		t.Errorf("table 3 output:\n%s", buf.String())
+	}
+}
+
+// TestRevocationRequeuePath hunts (over a few market seeds) for a replay
+// in which the Original strategy suffers provider revocations, then
+// verifies the engine's §4.3 semantics: the interrupted jobs were
+// requeued and re-executed to completion, and worst-case cost accounting
+// still dominates realized cost.
+func TestRevocationRequeuePath(t *testing.T) {
+	trace := workload.Galaxies(40, 60*time.Minute, 99)
+	// Stretch runtimes so instances live many hours: long-lived instances
+	// on volatile markets are the ones excursions revoke.
+	for i := range trace.Jobs {
+		trace.Jobs[i].Runtime *= 10
+		if trace.Jobs[i].Runtime > 18*time.Hour {
+			trace.Jobs[i].Runtime = 18 * time.Hour
+		}
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		cfg := Config{
+			Trace:       trace,
+			Region:      spot.USEast1,
+			Strategy:    provisioner.Original,
+			Seed:        seed,
+			PriceSeed:   seed * 31,
+			WarmupSteps: 2500,
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Terminations == 0 {
+			continue
+		}
+		if rep.JobsCompleted != len(trace.Jobs) {
+			t.Fatalf("seed %d: %d revocations left %d/%d jobs done",
+				seed, rep.Terminations, rep.JobsCompleted, len(trace.Jobs))
+		}
+		if rep.MaxBidCost < rep.Cost {
+			t.Fatalf("seed %d: worst case %v below realized %v", seed, rep.MaxBidCost, rep.Cost)
+		}
+		t.Logf("seed %d: %d revocations, all %d jobs completed", seed, rep.Terminations, rep.JobsCompleted)
+		return
+	}
+	t.Skip("no revocation realized in 12 seeds; path exercised statistically by Table 3 runs")
+}

@@ -1,0 +1,88 @@
+package cloudsim
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/drafts-go/drafts/internal/provisioner"
+	"github.com/drafts-go/drafts/internal/stats"
+)
+
+// Summary is one row of Table 3: averages over repeated simulated
+// experiments with one strategy.
+type Summary struct {
+	Strategy        string
+	Runs            int
+	AvgInstances    float64
+	AvgCost         float64
+	AvgMaxBidCost   float64
+	AvgTerminations float64
+}
+
+// RunMany executes n independent replays of the same configuration with
+// forked seeds (both operational and market randomness vary per run, as in
+// the paper's 35 repeated experiments) and averages the reports.
+func RunMany(cfg Config, n int) (Summary, error) {
+	if n < 1 {
+		return Summary{}, fmt.Errorf("cloudsim: need at least one run")
+	}
+	sum := Summary{Runs: n}
+	for i := 0; i < n; i++ {
+		run := cfg
+		run.Seed = stats.ForkSeed(cfg.Seed, int64(i)+1)
+		run.PriceSeed = stats.ForkSeed(cfg.PriceSeed, int64(i)+1)
+		rep, err := Run(run)
+		if err != nil {
+			return Summary{}, fmt.Errorf("cloudsim: run %d: %w", i, err)
+		}
+		sum.Strategy = rep.Strategy
+		sum.AvgInstances += float64(rep.Instances)
+		sum.AvgCost += rep.Cost
+		sum.AvgMaxBidCost += rep.MaxBidCost
+		sum.AvgTerminations += float64(rep.Terminations)
+	}
+	f := float64(n)
+	sum.AvgInstances /= f
+	sum.AvgCost /= f
+	sum.AvgMaxBidCost /= f
+	sum.AvgTerminations /= f
+	return sum, nil
+}
+
+// CompareStrategies runs every Table-3 strategy n times each under
+// identical market seeds and returns the summaries in table order.
+func CompareStrategies(cfg Config, n int) ([]Summary, error) {
+	var out []Summary
+	for _, s := range provisioner.Strategies() {
+		run := cfg
+		run.Strategy = s
+		sum, err := RunMany(run, n)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", s, err)
+		}
+		out = append(out, sum)
+	}
+	return out, nil
+}
+
+// WriteTable2 renders two single-run reports in the paper's Table-2 layout.
+func WriteTable2(w io.Writer, reports []Report) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tInstances\tCost\tMaximum Bid Cost\tTerminations")
+	for _, r := range reports {
+		fmt.Fprintf(tw, "%s\t%d\t$%.2f\t$%.2f\t%d\n", r.Strategy, r.Instances, r.Cost, r.MaxBidCost, r.Terminations)
+	}
+	return tw.Flush()
+}
+
+// WriteTable3 renders strategy summaries in the paper's Table-3 layout.
+func WriteTable3(w io.Writer, sums []Summary) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tAvg. Instances\tAvg. Cost\tAvg. Max Bid Cost\tAvg. Terminations")
+	for _, s := range sums {
+		fmt.Fprintf(tw, "%s\t%.1f\t$%.2f\t$%.2f\t%.2f\n",
+			s.Strategy, s.AvgInstances, s.AvgCost, s.AvgMaxBidCost, s.AvgTerminations)
+	}
+	return tw.Flush()
+}

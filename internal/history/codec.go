@@ -1,0 +1,129 @@
+package history
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+// csvHeader is the column layout of the archive format: one row per price
+// announcement, matching the layout of the public DrAFTS price-data dumps.
+var csvHeader = []string{"zone", "instance_type", "timestamp", "price_usd_hour"}
+
+// WriteCSV streams one combo's series as CSV rows (with header).
+func WriteCSV(w io.Writer, c spot.Combo, s *Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i, p := range s.Prices {
+		rec := []string{
+			string(c.Zone),
+			string(c.Type),
+			s.TimeAt(i).UTC().Format(time.RFC3339),
+			strconv.FormatFloat(p, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses rows written by WriteCSV, returning the combo and the
+// resampled uniform series.
+func ReadCSV(r io.Reader) (spot.Combo, *Series, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = len(csvHeader)
+	head, err := cr.Read()
+	if err != nil {
+		return spot.Combo{}, nil, fmt.Errorf("history: reading header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if head[i] != want {
+			return spot.Combo{}, nil, fmt.Errorf("history: header column %d is %q, want %q", i, head[i], want)
+		}
+	}
+	var combo spot.Combo
+	var points []spot.PricePoint
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return spot.Combo{}, nil, err
+		}
+		c := spot.Combo{Zone: spot.Zone(rec[0]), Type: spot.InstanceType(rec[1])}
+		if combo == (spot.Combo{}) {
+			combo = c
+		} else if c != combo {
+			return spot.Combo{}, nil, fmt.Errorf("history: mixed combos in one file: %v and %v", combo, c)
+		}
+		at, err := time.Parse(time.RFC3339, rec[2])
+		if err != nil {
+			return spot.Combo{}, nil, fmt.Errorf("history: bad timestamp %q: %w", rec[2], err)
+		}
+		price, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return spot.Combo{}, nil, fmt.Errorf("history: bad price %q: %w", rec[3], err)
+		}
+		points = append(points, spot.PricePoint{At: at, Price: price})
+	}
+	if len(points) == 0 {
+		return spot.Combo{}, nil, fmt.Errorf("history: empty file")
+	}
+	end := points[len(points)-1].At.Add(spot.UpdatePeriod)
+	s, err := Resample(points, points[0].At, end)
+	if err != nil {
+		return spot.Combo{}, nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return spot.Combo{}, nil, err
+	}
+	return combo, s, nil
+}
+
+// seriesJSON is the wire form of a series.
+type seriesJSON struct {
+	Zone   spot.Zone         `json:"zone"`
+	Type   spot.InstanceType `json:"instance_type"`
+	Start  time.Time         `json:"start"`
+	StepMS int64             `json:"step_ms"`
+	Prices []float64         `json:"prices"`
+}
+
+// WriteJSON encodes one combo's series as a single JSON document.
+func WriteJSON(w io.Writer, c spot.Combo, s *Series) error {
+	return json.NewEncoder(w).Encode(seriesJSON{
+		Zone:   c.Zone,
+		Type:   c.Type,
+		Start:  s.Start.UTC(),
+		StepMS: s.Step.Milliseconds(),
+		Prices: s.Prices,
+	})
+}
+
+// ReadJSON decodes a document written by WriteJSON.
+func ReadJSON(r io.Reader) (spot.Combo, *Series, error) {
+	var doc seriesJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return spot.Combo{}, nil, err
+	}
+	s := &Series{
+		Start:  doc.Start,
+		Step:   time.Duration(doc.StepMS) * time.Millisecond,
+		Prices: doc.Prices,
+	}
+	if err := s.Validate(); err != nil {
+		return spot.Combo{}, nil, err
+	}
+	return spot.Combo{Zone: doc.Zone, Type: doc.Type}, s, nil
+}

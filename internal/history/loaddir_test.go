@@ -1,0 +1,74 @@
+package history
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func writeArchive(t *testing.T, dir, name string, combo spot.Combo, s *Series, asJSON bool) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if asJSON {
+		err = WriteJSON(f, combo, s)
+	} else {
+		err = WriteCSV(f, combo, s)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDirMixedFormats(t *testing.T) {
+	dir := t.TempDir()
+	c1 := spot.Combo{Zone: "us-east-1b", Type: "c4.large"}
+	c2 := spot.Combo{Zone: "us-west-2a", Type: "m1.large"}
+	writeArchive(t, dir, "a.csv", c1, rampSeries(20), false)
+	writeArchive(t, dir, "b.json", c2, rampSeries(30), true)
+	// Non-history files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	store, n, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("loaded %d files, want 2", n)
+	}
+	s1, ok := store.Full(c1)
+	if !ok || s1.Len() != 20 {
+		t.Errorf("c1 series: %v, %v", s1, ok)
+	}
+	s2, ok := store.Full(c2)
+	if !ok || s2.Len() != 30 {
+		t.Errorf("c2 series: %v, %v", s2, ok)
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing directory accepted")
+	}
+	empty := t.TempDir()
+	if _, _, err := LoadDir(empty); err == nil {
+		t.Error("empty directory accepted")
+	}
+	corrupt := t.TempDir()
+	if err := os.WriteFile(filepath.Join(corrupt, "bad.csv"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadDir(corrupt); err == nil {
+		t.Error("corrupt archive accepted")
+	}
+}

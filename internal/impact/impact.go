@@ -1,0 +1,248 @@
+// Package impact implements the paper's stated future work (§6): "analyze
+// the degree to which the availability of DrAFTS predictions may affect
+// the market they are serving ... whether the predictive capability is
+// degraded if many market participants were to use DrAFTS to determine
+// their bids and also whether the market, as a whole, will appear more or
+// less stable than it is currently."
+//
+// The study runs the auction simulator with a growing population of
+// DrAFTS-following agents alongside the ordinary background demand. Every
+// agent watches the emitted price series with its own online predictor
+// and repeatedly requests instances priced by DrAFTS; their bids enter
+// the same book that sets the market price, closing the feedback loop the
+// paper could not close against the real market. For each adoption level
+// the study reports the agents' realized durability and the market's
+// price dispersion.
+package impact
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/core"
+	"github.com/drafts-go/drafts/internal/market"
+	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/stats"
+)
+
+// Config parameterizes one adoption-sweep study.
+type Config struct {
+	Combo spot.Combo
+	// Adoptions are the DrAFTS-agent population sizes to sweep (default
+	// 0, 4, 16, 64).
+	Adoptions []int
+	// Probability is each agent's durability target (default 0.95).
+	Probability float64
+	// InstanceDuration is each agent request's intended runtime (default
+	// 3300 s, the launch-experiment protocol).
+	InstanceDuration time.Duration
+	// RequestsPerAgent is how many instances each agent runs during the
+	// measurement phase (default 20).
+	RequestsPerAgent int
+	// WarmupSteps before agents start bidding (default one month).
+	WarmupSteps int
+	// Seed fixes both market and agent randomness.
+	Seed int64
+	// Market tunes the underlying auction simulator.
+	Market market.Config
+	// Start is the simulation start time.
+	Start time.Time
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if _, err := spot.Spec(c.Combo.Type); err != nil {
+		return c, err
+	}
+	if len(c.Adoptions) == 0 {
+		c.Adoptions = []int{0, 4, 16, 64}
+	}
+	for _, a := range c.Adoptions {
+		if a < 0 {
+			return c, fmt.Errorf("impact: negative adoption level %d", a)
+		}
+	}
+	if c.Probability == 0 {
+		c.Probability = 0.95
+	}
+	if !(c.Probability > 0 && c.Probability < 1) {
+		return c, fmt.Errorf("impact: probability %v outside (0,1)", c.Probability)
+	}
+	if c.InstanceDuration == 0 {
+		c.InstanceDuration = 3300 * time.Second
+	}
+	if c.InstanceDuration <= 0 {
+		return c, fmt.Errorf("impact: non-positive duration")
+	}
+	if c.RequestsPerAgent == 0 {
+		c.RequestsPerAgent = 20
+	}
+	if c.RequestsPerAgent < 1 {
+		return c, fmt.Errorf("impact: need at least one request per agent")
+	}
+	if c.WarmupSteps == 0 {
+		c.WarmupSteps = 30 * 24 * 12
+	}
+	if c.WarmupSteps < 200 {
+		return c, fmt.Errorf("impact: warmup %d too short", c.WarmupSteps)
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return c, nil
+}
+
+// Level is the outcome at one adoption level.
+type Level struct {
+	Agents int
+	// Requests and Failures across all agents (Failures counts launch
+	// failures and price terminations).
+	Requests, Failures int
+	// MeanPrice and PriceCV summarize the market price during the
+	// measurement phase (coefficient of variation = stddev/mean).
+	MeanPrice float64
+	PriceCV   float64
+	// MeanBid is the average DrAFTS bid the agents submitted.
+	MeanBid float64
+}
+
+// SuccessFraction is the agents' realized durability.
+func (l Level) SuccessFraction() float64 {
+	if l.Requests == 0 {
+		return 1
+	}
+	return 1 - float64(l.Failures)/float64(l.Requests)
+}
+
+// agent is one DrAFTS-following market participant.
+type agent struct {
+	pred    *core.Predictor
+	inst    *market.Instance
+	stopAt  time.Time
+	pending int // requests remaining
+	gap     int // steps until next request
+}
+
+// Run sweeps the adoption levels. Every level replays the same market
+// seed, so differences are attributable to the agents themselves.
+func Run(cfg Config) ([]Level, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Level, 0, len(cfg.Adoptions))
+	for _, n := range cfg.Adoptions {
+		lvl, err := runLevel(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lvl)
+	}
+	return out, nil
+}
+
+func runLevel(cfg Config, nAgents int) (Level, error) {
+	mkt, err := market.New(cfg.Combo, cfg.Market, cfg.Start, cfg.Seed)
+	if err != nil {
+		return Level{}, err
+	}
+	rng := stats.NewRNG(stats.ForkSeed(cfg.Seed, int64(nAgents)+77))
+	agents := make([]*agent, nAgents)
+	for i := range agents {
+		pred, err := core.NewPredictor(core.Params{
+			Probability: cfg.Probability,
+			MaxHistory:  core.DefaultMaxHistory,
+		}, cfg.Start)
+		if err != nil {
+			return Level{}, err
+		}
+		pred.Observe(mkt.Price())
+		agents[i] = &agent{
+			pred:    pred,
+			pending: cfg.RequestsPerAgent,
+			gap:     rng.Intn(cfg.WarmupSteps / 4), // stagger entry
+		}
+	}
+
+	runSteps := core.StepsFor(cfg.InstanceDuration, spot.UpdatePeriod)
+	lvl := Level{Agents: nAgents}
+	var prices, bids []float64
+
+	for step := 0; ; step++ {
+		mkt.Step()
+		price := mkt.Price()
+		active := 0
+		for _, a := range agents {
+			a.pred.Observe(price)
+			if a.pending > 0 || a.inst != nil {
+				active++
+			}
+		}
+		if step >= cfg.WarmupSteps {
+			prices = append(prices, price)
+			for _, a := range agents {
+				a.tick(mkt, cfg, runSteps, rng, &lvl, &bids)
+			}
+		}
+		if step >= cfg.WarmupSteps && active == 0 {
+			break
+		}
+		if nAgents == 0 && step >= cfg.WarmupSteps+cfg.RequestsPerAgent*(runSteps+6) {
+			break // baseline level: measure the same span without agents
+		}
+	}
+
+	ps := stats.Describe(prices)
+	lvl.MeanPrice = ps.Mean
+	if ps.Mean > 0 {
+		lvl.PriceCV = ps.Stddev() / ps.Mean
+	}
+	lvl.MeanBid = stats.Describe(bids).Mean
+	return lvl, nil
+}
+
+// tick advances one agent: finish or fail the running instance, or launch
+// the next request when its gap expires.
+func (a *agent) tick(mkt *market.Market, cfg Config, runSteps int, rng *stats.RNG, lvl *Level, bids *[]float64) {
+	if a.inst != nil {
+		if a.inst.Terminated {
+			lvl.Failures++
+			a.inst = nil
+			a.afterRun(rng)
+			return
+		}
+		if !mkt.Now().Before(a.stopAt) {
+			mkt.Terminate(a.inst)
+			a.inst = nil
+			a.afterRun(rng)
+		}
+		return
+	}
+	if a.pending == 0 {
+		return
+	}
+	if a.gap > 0 {
+		a.gap--
+		return
+	}
+	quote, err := a.pred.Advise(cfg.InstanceDuration)
+	if err != nil {
+		// Not enough signal yet; retry shortly.
+		a.gap = 3
+		return
+	}
+	a.pending--
+	lvl.Requests++
+	*bids = append(*bids, quote.Bid)
+	inst, err := mkt.Submit(quote.Bid)
+	if err != nil {
+		lvl.Failures++ // launch failure
+		a.afterRun(rng)
+		return
+	}
+	a.inst = inst
+	a.stopAt = mkt.Now().Add(time.Duration(runSteps) * spot.UpdatePeriod)
+}
+
+func (a *agent) afterRun(rng *stats.RNG) {
+	a.gap = 3 + rng.Intn(9) // 15-60 minutes between requests
+}

@@ -1,0 +1,97 @@
+package impact
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func smallConfig() Config {
+	return Config{
+		Combo:            spot.Combo{Zone: "us-east-1b", Type: "c4.large"},
+		Adoptions:        []int{0, 3, 12},
+		RequestsPerAgent: 6,
+		WarmupSteps:      2500,
+		Seed:             5,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Combo.Type = "bogus" },
+		func(c *Config) { c.Adoptions = []int{-1} },
+		func(c *Config) { c.Probability = 1.5 },
+		func(c *Config) { c.InstanceDuration = -time.Hour },
+		func(c *Config) { c.RequestsPerAgent = -1 },
+		func(c *Config) { c.WarmupSteps = 10 },
+	}
+	for i, mutate := range bad {
+		c := smallConfig()
+		mutate(&c)
+		if _, err := c.withDefaults(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	c, err := (Config{Combo: spot.Combo{Zone: "us-east-1b", Type: "c4.large"}}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Adoptions) != 4 || c.Probability != 0.95 || c.RequestsPerAgent != 20 {
+		t.Errorf("defaults: %+v", c)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	levels, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("%d levels", len(levels))
+	}
+	if levels[0].Agents != 0 || levels[0].Requests != 0 {
+		t.Errorf("baseline level ran requests: %+v", levels[0])
+	}
+	if levels[0].MeanPrice <= 0 || levels[0].PriceCV < 0 {
+		t.Errorf("baseline price stats: %+v", levels[0])
+	}
+	for _, lvl := range levels[1:] {
+		wantReq := lvl.Agents * 6
+		if lvl.Requests != wantReq {
+			t.Errorf("level %d: %d requests, want %d", lvl.Agents, lvl.Requests, wantReq)
+		}
+		if lvl.MeanBid <= 0 {
+			t.Errorf("level %d: mean bid %v", lvl.Agents, lvl.MeanBid)
+		}
+		// The durability target should roughly hold even with feedback;
+		// allow generous slack at this small sample size.
+		slack := 3 * math.Sqrt(0.95*0.05/float64(lvl.Requests))
+		if lvl.SuccessFraction() < 0.95-slack-0.05 {
+			t.Errorf("level %d: success fraction %.3f collapsed", lvl.Agents, lvl.SuccessFraction())
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("level %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSuccessFractionEmpty(t *testing.T) {
+	if (Level{}).SuccessFraction() != 1 {
+		t.Error("no-request level should report full success")
+	}
+}

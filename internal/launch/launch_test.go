@@ -1,0 +1,136 @@
+package launch
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func smallConfig(region spot.Region, ty spot.InstanceType) Config {
+	return Config{
+		Region:       region,
+		Type:         ty,
+		Probability:  0.95,
+		NumInstances: 25,
+		WarmupSteps:  3000,
+		Seed:         7,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Region: "mars-north-1", Type: "c4.large", Probability: 0.95},
+		{Region: spot.USEast1, Type: "bogus", Probability: 0.95},
+		{Region: spot.USEast1, Type: "c4.large", Probability: 0},
+		{Region: spot.USEast1, Type: "c4.large", Probability: 0.95, NumInstances: -1},
+		{Region: spot.USEast1, Type: "c4.large", Probability: 0.95, InstanceDuration: -time.Hour},
+		{Region: spot.USEast1, Type: "c4.large", Probability: 0.95, WarmupSteps: -1},
+	}
+	for i, c := range bad {
+		if _, err := c.withDefaults(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	c, err := Config{Region: spot.USEast1, Type: "c4.large", Probability: 0.95}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.InstanceDuration != 3300*time.Second || c.NumInstances != 100 ||
+		c.MeanGap != 2748*time.Second || c.StddevGap != 687*time.Second {
+		t.Errorf("defaults: %+v", c)
+	}
+}
+
+func TestRunUnavailableCombo(t *testing.T) {
+	// cg1.4xlarge only exists in us-east-1.
+	cfg := smallConfig(spot.USWest2, "cg1.4xlarge")
+	if _, err := Run(cfg); err == nil {
+		t.Error("unavailable type accepted")
+	}
+}
+
+// TestRunCalmRegion mirrors Figure 2: c4.large in us-east-1 with p=0.95
+// should complete with no (or at most one) failure among 25 launches.
+func TestRunCalmRegion(t *testing.T) {
+	res, err := Run(smallConfig(spot.USEast1, "c4.large"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 25 {
+		t.Fatalf("%d records", len(res.Records))
+	}
+	if f := res.Failures(); f > 1 {
+		t.Errorf("calm region: %d failures of 25", f)
+	}
+	for _, rec := range res.Records {
+		if rec.Zone.Region() != spot.USEast1 {
+			t.Errorf("record in zone %v", rec.Zone)
+		}
+		if rec.Bid <= 0 {
+			t.Errorf("non-positive bid %v", rec.Bid)
+		}
+		if rec.Outcome != LaunchFailed && rec.Bid <= rec.PriceAtBid {
+			t.Errorf("accepted bid %v not above price %v", rec.Bid, rec.PriceAtBid)
+		}
+	}
+	// Launch times must advance strictly.
+	for i := 1; i < len(res.Records); i++ {
+		if !res.Records[i].LaunchedAt.After(res.Records[i-1].LaunchedAt) {
+			t.Fatal("launch times not increasing")
+		}
+	}
+}
+
+// TestRunMeetsTarget mirrors Figure 3's statistical claim: the failure
+// fraction stays consistent with the 0.95 target even in the volatile
+// region.
+func TestRunMeetsTarget(t *testing.T) {
+	cfg := smallConfig(spot.USWest1, "c3.2xlarge")
+	cfg.NumInstances = 40
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := res.SuccessFraction()
+	slack := 2.5 * math.Sqrt(0.95*0.05/40)
+	if frac < 0.95-slack {
+		t.Errorf("success fraction %.3f below target (slack %.3f)", frac, slack)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := smallConfig(spot.USEast1, "m4.large")
+	cfg.NumInstances = 10
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Success.String() != "success" || PriceTerminated.String() != "price-terminated" ||
+		LaunchFailed.String() != "launch-failed" {
+		t.Error("outcome strings wrong")
+	}
+	if Outcome(9).String() == "" {
+		t.Error("unknown outcome should print")
+	}
+}
+
+func TestSuccessFractionEmpty(t *testing.T) {
+	if (Result{}).SuccessFraction() != 0 {
+		t.Error("empty result fraction should be 0")
+	}
+}

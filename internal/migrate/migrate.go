@@ -1,0 +1,386 @@
+// Package migrate implements the §5 related-work scenario the paper says
+// DrAFTS complements: hosting an always-on service in the Spot tier with
+// live migration between availability zones (SpotCheck/SpotOn-style).
+//
+// The cited systems use a *reactive* strategy (bid the On-demand price and
+// migrate when the market price nears the bid) or a *proactive* strategy
+// (a constant bid factor above On-demand). DrAFTS adds what they lack: a
+// probabilistic estimate of how long the current placement will survive,
+// so the host can migrate on schedule — before the market gets close —
+// and can choose the replacement zone by guaranteed duration rather than
+// by current price alone.
+//
+// The simulator runs one service over the per-zone markets of a region
+// for a fixed horizon and accounts downtime (unplanned recovery after a
+// revocation is far more expensive than a planned live migration),
+// migrations, and cost.
+package migrate
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/core"
+	"github.com/drafts-go/drafts/internal/market"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+// Policy selects the hosting strategy.
+type Policy int
+
+const (
+	// Reactive bids the On-demand price and migrates when the market
+	// price climbs past a fraction of the bid (He et al.).
+	Reactive Policy = iota
+	// Proactive bids a constant factor above On-demand and migrates on
+	// the same price-proximity trigger.
+	Proactive
+	// DrAFTSInformed bids the DrAFTS quote for the planning horizon and
+	// migrates when the predictor's remaining guarantee for the current
+	// bid drops below the migration lead time; the replacement zone is
+	// the one whose quote guarantees the longest stay.
+	DrAFTSInformed
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Reactive:
+		return "reactive (bid=OD)"
+	case Proactive:
+		return "proactive (bid=1.3xOD)"
+	case DrAFTSInformed:
+		return "DrAFTS-informed"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Policies lists all hosting strategies.
+func Policies() []Policy { return []Policy{Reactive, Proactive, DrAFTSInformed} }
+
+// Config parameterizes one hosting simulation.
+type Config struct {
+	Region spot.Region
+	Type   spot.InstanceType
+	// Horizon is how long the service must stay up (default 14 days).
+	Horizon time.Duration
+	// PlannedMigration is the downtime of a deliberate live migration
+	// (default 30 s, SpotCheck-style bounded-time migration).
+	PlannedMigration time.Duration
+	// UnplannedRecovery is the downtime after a surprise revocation:
+	// detect, reprovision, restore (default 10 min).
+	UnplannedRecovery time.Duration
+	// ProactiveFactor is the Proactive policy's bid multiple (default 1.3).
+	ProactiveFactor float64
+	// TriggerFrac is the price-proximity migration trigger for the
+	// reactive and proactive policies (default 0.9: migrate when the
+	// market price reaches 90% of the bid).
+	TriggerFrac float64
+	// Probability is the DrAFTS durability target (default 0.95).
+	Probability float64
+	// PlanningHorizon is the duration DrAFTS quotes are requested for
+	// (default 12 h); the policy re-evaluates every market period.
+	PlanningHorizon time.Duration
+	// WarmupSteps of market history before hosting starts (default one
+	// month).
+	WarmupSteps int
+	// Seed fixes the market realization (shared across policies).
+	Seed int64
+	// Market tunes the per-zone simulators.
+	Market market.Config
+	// Start is the simulation start time.
+	Start time.Time
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if len(spot.ZonesOf(c.Region)) == 0 {
+		return c, fmt.Errorf("migrate: unknown region %q", c.Region)
+	}
+	if _, err := spot.Spec(c.Type); err != nil {
+		return c, err
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 14 * 24 * time.Hour
+	}
+	if c.Horizon < time.Hour {
+		return c, fmt.Errorf("migrate: horizon %v too short", c.Horizon)
+	}
+	if c.PlannedMigration == 0 {
+		c.PlannedMigration = 30 * time.Second
+	}
+	if c.UnplannedRecovery == 0 {
+		c.UnplannedRecovery = 10 * time.Minute
+	}
+	if c.PlannedMigration < 0 || c.UnplannedRecovery < 0 {
+		return c, fmt.Errorf("migrate: negative downtime cost")
+	}
+	if c.ProactiveFactor == 0 {
+		c.ProactiveFactor = 1.3
+	}
+	if c.ProactiveFactor <= 0 {
+		return c, fmt.Errorf("migrate: non-positive proactive factor")
+	}
+	if c.TriggerFrac == 0 {
+		c.TriggerFrac = 0.9
+	}
+	if !(c.TriggerFrac > 0 && c.TriggerFrac < 1) {
+		return c, fmt.Errorf("migrate: trigger fraction %v outside (0,1)", c.TriggerFrac)
+	}
+	if c.Probability == 0 {
+		c.Probability = 0.95
+	}
+	if !(c.Probability > 0 && c.Probability < 1) {
+		return c, fmt.Errorf("migrate: probability %v outside (0,1)", c.Probability)
+	}
+	if c.PlanningHorizon == 0 {
+		c.PlanningHorizon = 12 * time.Hour
+	}
+	if c.WarmupSteps == 0 {
+		c.WarmupSteps = 30 * 24 * 12
+	}
+	if c.WarmupSteps < 200 {
+		return c, fmt.Errorf("migrate: warmup %d too short", c.WarmupSteps)
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2017, 2, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return c, nil
+}
+
+// Report summarizes one hosted run.
+type Report struct {
+	Policy             string
+	Downtime           time.Duration
+	PlannedMigrations  int
+	UnplannedFailovers int
+	// Cost is the worst-case (bid-priced) spend per the §2.1 risk model.
+	Cost float64
+	// RealizedCost charges each hour at the market price in force when it
+	// began (§2.1's actual billing rule).
+	RealizedCost float64
+	// Availability is uptime over the horizon.
+	Availability float64
+}
+
+// Run hosts the service under one policy.
+func Run(cfg Config, policy Policy) (Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+	zones := spot.ZonesOf(cfg.Region)
+	var combos []spot.Combo
+	for _, z := range zones {
+		if spot.Available(cfg.Type, z) {
+			combos = append(combos, spot.Combo{Zone: z, Type: cfg.Type})
+		}
+	}
+	if len(combos) < 2 {
+		return Report{}, fmt.Errorf("migrate: need at least two zones for %s in %s", cfg.Type, cfg.Region)
+	}
+	ex, err := market.NewExchange(combos, cfg.Market, cfg.Start, cfg.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	od, err := spot.ODPrice(cfg.Type, cfg.Region)
+	if err != nil {
+		return Report{}, err
+	}
+	preds := make([]*core.Predictor, len(combos))
+	for i := range combos {
+		p, err := core.NewPredictor(core.Params{
+			Probability: cfg.Probability,
+			MaxHistory:  core.DefaultMaxHistory,
+		}, cfg.Start)
+		if err != nil {
+			return Report{}, err
+		}
+		p.Observe(ex.Markets[i].Price())
+		preds[i] = p
+	}
+	step := func() {
+		ex.Step()
+		for i, m := range ex.Markets {
+			preds[i].Observe(m.Price())
+		}
+	}
+	for i := 0; i < cfg.WarmupSteps; i++ {
+		step()
+	}
+
+	h := &host{cfg: cfg, policy: policy, ex: ex, preds: preds, od: od}
+	rep := Report{Policy: policy.String()}
+	steps := int(cfg.Horizon / spot.UpdatePeriod)
+	if err := h.place(&rep, -1); err != nil {
+		return Report{}, err
+	}
+	for i := 0; i < steps; i++ {
+		step()
+		h.hourTick(&rep)
+		if h.inst.Terminated {
+			// Surprise revocation: expensive failover.
+			rep.UnplannedFailovers++
+			rep.Downtime += cfg.UnplannedRecovery
+			if err := h.place(&rep, h.at); err != nil {
+				return Report{}, err
+			}
+			continue
+		}
+		if h.shouldMigrate() {
+			rep.PlannedMigrations++
+			rep.Downtime += cfg.PlannedMigration
+			prev := h.at
+			h.retire(&rep)
+			if err := h.place(&rep, prev); err != nil {
+				return Report{}, err
+			}
+		}
+	}
+	h.retire(&rep)
+	rep.Availability = 1 - rep.Downtime.Seconds()/cfg.Horizon.Seconds()
+	return rep, nil
+}
+
+// RunAll hosts the service under every policy on the same market seed.
+func RunAll(cfg Config) ([]Report, error) {
+	var out []Report
+	for _, p := range Policies() {
+		rep, err := Run(cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", p, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// host is the running service's placement state.
+type host struct {
+	cfg    Config
+	policy Policy
+	ex     *market.Exchange
+	preds  []*core.Predictor
+	od     float64
+
+	at      int // market index currently hosting the service
+	inst    *market.Instance
+	since   time.Time
+	hours   int // chargeable hours accrued on the current instance
+	lastBid float64
+}
+
+// choose picks the zone and bid for (re)placement; avoid is the zone just
+// departed (-1 for the first placement).
+func (h *host) choose(avoid int) (int, float64) {
+	switch h.policy {
+	case Reactive:
+		return h.cheapestZone(avoid), h.od
+	case Proactive:
+		return h.cheapestZone(avoid), spot.RoundToTick(h.cfg.ProactiveFactor * h.od)
+	default:
+		best, bestBid := -1, 0.0
+		var bestDur time.Duration
+		for i := range h.preds {
+			if i == avoid {
+				continue
+			}
+			q, err := h.preds[i].Advise(h.cfg.PlanningHorizon)
+			if err != nil && q.Bid <= 0 {
+				continue
+			}
+			// Longest guaranteed stay wins; price breaks ties.
+			if best < 0 || q.Duration > bestDur || (q.Duration == bestDur && q.Bid < bestBid) {
+				best, bestBid, bestDur = i, q.Bid, q.Duration
+			}
+		}
+		if best < 0 {
+			best, bestBid = h.cheapestZone(avoid), h.od
+		}
+		return best, bestBid
+	}
+}
+
+func (h *host) cheapestZone(avoid int) int {
+	best := -1
+	for i, m := range h.ex.Markets {
+		if i == avoid {
+			continue
+		}
+		if best < 0 || m.Price() < h.ex.Markets[best].Price() {
+			best = i
+		}
+	}
+	return best
+}
+
+// place starts (or restarts) the service somewhere.
+func (h *host) place(rep *Report, avoid int) error {
+	for attempt := 0; attempt < 4; attempt++ {
+		idx, bid := h.choose(avoid)
+		inst, err := h.ex.Markets[idx].Submit(bid)
+		if err != nil {
+			// The market moved above the bid; raise to just above price
+			// and retry once before trying other zones.
+			bid = spot.NextTickAbove(h.ex.Markets[idx].Price() * 1.05)
+			inst, err = h.ex.Markets[idx].Submit(bid)
+			if err != nil {
+				avoid = idx
+				continue
+			}
+		}
+		h.at, h.inst, h.since, h.hours, h.lastBid = idx, inst, h.ex.Now(), 0, bid
+		return nil
+	}
+	return fmt.Errorf("migrate: could not place the service in any zone")
+}
+
+// hourTick accrues cost at each completed instance-hour: the bid for the
+// worst case, the hour-start market price for the realized charge.
+func (h *host) hourTick(rep *Report) {
+	elapsed := h.ex.Now().Sub(h.since)
+	for time.Duration(h.hours+1)*time.Hour <= elapsed {
+		hourStart := h.since.Add(time.Duration(h.hours) * time.Hour)
+		if p, ok := h.ex.Markets[h.at].Series().At(hourStart); ok {
+			rep.RealizedCost += p
+		} else {
+			rep.RealizedCost += h.ex.Markets[h.at].Price()
+		}
+		h.hours++
+		rep.Cost += h.lastBid
+	}
+}
+
+// retire finalizes the current placement's billing (round up, §2.1).
+func (h *host) retire(rep *Report) {
+	if h.inst == nil || h.inst.Terminated {
+		return
+	}
+	h.ex.Markets[h.at].Terminate(h.inst)
+	elapsed := h.ex.Now().Sub(h.since)
+	if rem := elapsed - time.Duration(h.hours)*time.Hour; rem > 0 {
+		rep.Cost += h.lastBid // the rounded-up final hour
+		hourStart := h.since.Add(time.Duration(h.hours) * time.Hour)
+		if p, ok := h.ex.Markets[h.at].Series().At(hourStart); ok {
+			rep.RealizedCost += p
+		} else {
+			rep.RealizedCost += h.ex.Markets[h.at].Price()
+		}
+	}
+}
+
+// shouldMigrate evaluates the policy's trigger on the current placement.
+func (h *host) shouldMigrate() bool {
+	price := h.ex.Markets[h.at].Price()
+	switch h.policy {
+	case Reactive, Proactive:
+		return price >= h.cfg.TriggerFrac*h.inst.Bid
+	default:
+		// Migrate when the predictor can no longer promise the migration
+		// lead time (one market period, generously padded) at the current
+		// bid, or when the price is about to cross anyway.
+		if price >= h.cfg.TriggerFrac*h.inst.Bid {
+			return true
+		}
+		g, ok := h.preds[h.at].GuaranteeFor(h.inst.Bid)
+		return ok && g < 2*spot.UpdatePeriod
+	}
+}

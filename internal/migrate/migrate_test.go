@@ -1,0 +1,127 @@
+package migrate
+
+import (
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func smallConfig() Config {
+	return Config{
+		Region:      spot.USEast1,
+		Type:        "c4.large",
+		Horizon:     3 * 24 * time.Hour,
+		WarmupSteps: 2500,
+		Seed:        3,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Region = "mars-north-1" },
+		func(c *Config) { c.Type = "bogus" },
+		func(c *Config) { c.Horizon = time.Minute },
+		func(c *Config) { c.PlannedMigration = -time.Second },
+		func(c *Config) { c.ProactiveFactor = -1 },
+		func(c *Config) { c.TriggerFrac = 1.5 },
+		func(c *Config) { c.Probability = 2 },
+		func(c *Config) { c.WarmupSteps = 5 },
+	}
+	for i, mutate := range bad {
+		c := smallConfig()
+		mutate(&c)
+		if _, err := c.withDefaults(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	c, err := smallConfig().withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PlannedMigration != 30*time.Second || c.UnplannedRecovery != 10*time.Minute ||
+		c.ProactiveFactor != 1.3 || c.TriggerFrac != 0.9 {
+		t.Errorf("defaults: %+v", c)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range Policies() {
+		if p.String() == "" {
+			t.Errorf("policy %d has empty name", int(p))
+		}
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy should still print")
+	}
+}
+
+func TestSingleZoneRejected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Type = "cg1.4xlarge"
+	cfg.Region = spot.USWest1 // cg1 only exists in us-east-1: zero zones
+	if _, err := Run(cfg, Reactive); err == nil {
+		t.Error("zero-zone hosting accepted")
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	reports, err := RunAll(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	for _, r := range reports {
+		if r.Availability <= 0.9 || r.Availability > 1 {
+			t.Errorf("%s: availability %v implausible", r.Policy, r.Availability)
+		}
+		if r.Cost <= 0 {
+			t.Errorf("%s: cost %v", r.Policy, r.Cost)
+		}
+		wantDown := time.Duration(r.PlannedMigrations)*30*time.Second +
+			time.Duration(r.UnplannedFailovers)*10*time.Minute
+		if r.Downtime != wantDown {
+			t.Errorf("%s: downtime %v inconsistent with %d planned + %d unplanned",
+				r.Policy, r.Downtime, r.PlannedMigrations, r.UnplannedFailovers)
+		}
+	}
+	// The DrAFTS-informed policy must not be more exposed to surprise
+	// revocations than the reactive baseline under identical markets.
+	byName := map[string]Report{}
+	for _, r := range reports {
+		byName[r.Policy] = r
+	}
+	dr := byName[DrAFTSInformed.String()]
+	re := byName[Reactive.String()]
+	if dr.UnplannedFailovers > re.UnplannedFailovers+1 {
+		t.Errorf("DrAFTS-informed had %d failovers vs reactive %d",
+			dr.UnplannedFailovers, re.UnplannedFailovers)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(smallConfig(), DrAFTSInformed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(), DrAFTSInformed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAvailabilityAccounting(t *testing.T) {
+	rep, err := Run(smallConfig(), Proactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - rep.Downtime.Seconds()/(3*24*time.Hour).Seconds()
+	if rep.Availability != want {
+		t.Errorf("availability %v, want %v", rep.Availability, want)
+	}
+}

@@ -1,0 +1,173 @@
+// Package obfuscate models the provider's per-account availability-zone
+// name remapping and implements the correlation-based deobfuscation the
+// DrAFTS service depends on.
+//
+// Amazon "prevents herding behavior in AZ selection by remapping AZ names
+// on a user-by-user basis. Thus, different users selecting us-east-1a do
+// not necessarily make requests from the same pool of resources. It is
+// possible to compare market price histories from different users to
+// determine a globally consistent AZ naming scheme." (§2.2). The paper's
+// authors performed this deobfuscation manually for their service; here it
+// is automated: two views of the same region are aligned by finding the
+// zone permutation that maximizes total price-series correlation.
+package obfuscate
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/stats"
+)
+
+// Mapping is a per-account bijection from account-visible zone names to
+// physical zones, per region.
+type Mapping map[spot.Zone]spot.Zone
+
+// ForAccount returns the deterministic zone remapping the provider applies
+// to one account: within each region, the visible zone letters are a
+// pseudo-random permutation of the physical ones keyed by the account ID.
+func ForAccount(accountID string) Mapping {
+	m := make(Mapping)
+	for _, r := range spot.Regions() {
+		zones := spot.ZonesOf(r)
+		perm := permFor(accountID, string(r), len(zones))
+		for i, z := range zones {
+			m[z] = zones[perm[i]]
+		}
+	}
+	return m
+}
+
+// permFor derives a permutation of [0,n) from a Fisher-Yates shuffle
+// seeded by (accountID, region).
+func permFor(accountID, region string, n int) []int {
+	h := fnv.New64a()
+	h.Write([]byte(accountID))
+	h.Write([]byte{0})
+	h.Write([]byte(region))
+	rng := stats.NewRNG(int64(h.Sum64()))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// Physical translates an account-visible zone to its physical identity.
+func (m Mapping) Physical(visible spot.Zone) (spot.Zone, error) {
+	p, ok := m[visible]
+	if !ok {
+		return "", fmt.Errorf("obfuscate: unknown zone %q", visible)
+	}
+	return p, nil
+}
+
+// Inverse returns the physical-to-visible mapping.
+func (m Mapping) Inverse() Mapping {
+	inv := make(Mapping, len(m))
+	for v, p := range m {
+		inv[p] = v
+	}
+	return inv
+}
+
+// Validate checks that the mapping is a region-preserving bijection.
+func (m Mapping) Validate() error {
+	seen := make(map[spot.Zone]bool, len(m))
+	for v, p := range m {
+		if v.Region() != p.Region() {
+			return fmt.Errorf("obfuscate: %q maps across regions to %q", v, p)
+		}
+		if seen[p] {
+			return fmt.Errorf("obfuscate: physical zone %q mapped twice", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// Deobfuscate aligns one account's view of a region with a reference view
+// (e.g. the DrAFTS service account's): it returns the mapping from the
+// account's visible zone names to the reference's names, chosen as the
+// zone permutation maximizing the summed Pearson correlation between the
+// two accounts' price series for the same physical pool. Both maps must
+// cover the same zones of one region with equal-length series.
+func Deobfuscate(mine, ref map[spot.Zone]*history.Series) (Mapping, error) {
+	if len(mine) == 0 || len(mine) != len(ref) {
+		return nil, fmt.Errorf("obfuscate: views have %d and %d zones", len(mine), len(ref))
+	}
+	var myZones, refZones []spot.Zone
+	for z := range mine {
+		myZones = append(myZones, z)
+	}
+	for z := range ref {
+		refZones = append(refZones, z)
+	}
+	sortZones(myZones)
+	sortZones(refZones)
+
+	// Pairwise correlation matrix.
+	n := len(myZones)
+	corr := make([][]float64, n)
+	for i, mz := range myZones {
+		corr[i] = make([]float64, n)
+		for j, rz := range refZones {
+			a, b := mine[mz], ref[rz]
+			if a.Len() != b.Len() || a.Len() < 2 {
+				return nil, fmt.Errorf("obfuscate: series for %q (%d) and %q (%d) not comparable",
+					mz, a.Len(), rz, b.Len())
+			}
+			corr[i][j] = stats.Correlation(a.Prices, b.Prices)
+		}
+	}
+
+	// Exhaustive assignment: regions have at most five zones, so n! <= 120.
+	best := math.Inf(-1)
+	assign := make([]int, n)
+	bestAssign := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int, sum float64)
+	rec = func(i int, sum float64) {
+		if i == n {
+			if sum > best {
+				best = sum
+				copy(bestAssign, assign)
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			assign[i] = j
+			rec(i+1, sum+corr[i][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+
+	m := make(Mapping, n)
+	for i, j := range bestAssign {
+		m[myZones[i]] = refZones[j]
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func sortZones(zs []spot.Zone) {
+	for i := 1; i < len(zs); i++ {
+		for j := i; j > 0 && zs[j] < zs[j-1]; j-- {
+			zs[j], zs[j-1] = zs[j-1], zs[j]
+		}
+	}
+}

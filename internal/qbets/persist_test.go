@@ -1,0 +1,129 @@
+package qbets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/drafts-go/drafts/internal/stats"
+)
+
+// TestSaveLoadRoundTrip: a restored predictor must produce the same bound
+// now and evolve identically on further observations.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(99)
+	orig := MustNew(upperCfg())
+	for i := 0; i < 3000; i++ {
+		orig.Observe(rng.LogNormal(-2, 0.4))
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Fatalf("restored Len %d, want %d", restored.Len(), orig.Len())
+	}
+	if restored.ChangePoints() != orig.ChangePoints() {
+		t.Errorf("change points %d vs %d", restored.ChangePoints(), orig.ChangePoints())
+	}
+	b1, ok1 := orig.Bound()
+	b2, ok2 := restored.Bound()
+	if ok1 != ok2 || b1 != b2 {
+		t.Fatalf("bound diverged after restore: %v,%v vs %v,%v", b1, ok1, b2, ok2)
+	}
+	// Identical evolution on identical further input.
+	feed := stats.NewRNG(7)
+	for i := 0; i < 2000; i++ {
+		v := feed.LogNormal(-2, 0.4)
+		orig.Observe(v)
+		restored.Observe(v)
+		ba, oka := orig.Bound()
+		bb, okb := restored.Bound()
+		if oka != okb || ba != bb {
+			t.Fatalf("evolution diverged at %d: %v vs %v", i, ba, bb)
+		}
+	}
+}
+
+// TestSaveLoadAcrossChangePoints: persistence mid-detector-state (pending
+// flush scheduled) must survive the round trip.
+func TestSaveLoadAcrossChangePoints(t *testing.T) {
+	rng := stats.NewRNG(5)
+	orig := MustNew(upperCfg())
+	for i := 0; i < 1500; i++ {
+		orig.Observe(1 + 0.05*rng.Float64())
+	}
+	// Start a regime shift; stop mid-adaptation so detector state is hot.
+	for i := 0; i < 70; i++ {
+		orig.Observe(9 + 0.5*rng.Float64())
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := stats.NewRNG(6)
+	for i := 0; i < 500; i++ {
+		v := 9 + 0.5*feed.Float64()
+		orig.Observe(v)
+		restored.Observe(v)
+	}
+	if orig.ChangePoints() != restored.ChangePoints() {
+		t.Errorf("change point counts diverged: %d vs %d", orig.ChangePoints(), restored.ChangePoints())
+	}
+	ba, _ := orig.Bound()
+	bb, _ := restored.Bound()
+	if ba != bb {
+		t.Errorf("bounds diverged after shift: %v vs %v", ba, bb)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{not json"), nil); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99}`), nil); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"quantile":2,"confidence":0.9}`), nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+	bad := `{"version":1,"quantile":0.975,"confidence":0.99,"change_point_window":60,` +
+		`"viol_ring":[true],"history":[1]}`
+	if _, err := Load(strings.NewReader(bad), nil); err == nil {
+		t.Error("ring/window mismatch accepted")
+	}
+	nan := `{"version":1,"quantile":0.975,"confidence":0.99,"change_point_window":2,` +
+		`"viol_ring":[false,false],"history":[1,null]}`
+	_ = nan // JSON null decodes to 0 in float64 slices; test explicit inf via string is moot
+}
+
+func TestSaveLoadCustomStore(t *testing.T) {
+	cfg := upperCfg()
+	cfg.NewStore = func() OrderStats { return NewFenwickStore(0.0001, 2) }
+	orig := MustNew(cfg)
+	rng := stats.NewRNG(3)
+	for i := 0; i < 800; i++ {
+		orig.Observe(float64(rng.Intn(2000)) * 0.0001)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, func() OrderStats { return NewFenwickStore(0.0001, 2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := orig.Bound()
+	b2, _ := restored.Bound()
+	if b1 != b2 {
+		t.Errorf("custom-store bound diverged: %v vs %v", b1, b2)
+	}
+}

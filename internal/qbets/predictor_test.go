@@ -1,0 +1,369 @@
+package qbets
+
+import (
+	"math"
+	"testing"
+
+	"github.com/drafts-go/drafts/internal/stats"
+)
+
+func upperCfg() Config {
+	return Config{Kind: UpperBound, Quantile: 0.975, Confidence: 0.99}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Quantile: 0, Confidence: 0.9},
+		{Quantile: 1, Confidence: 0.9},
+		{Quantile: 0.5, Confidence: 0},
+		{Quantile: 0.5, Confidence: 1},
+		{Quantile: 0.5, Confidence: 0.9, ChangePointWindow: -1},
+		{Quantile: 0.5, Confidence: 0.9, ChangePointAlpha: -0.1},
+		{Quantile: 0.5, Confidence: 0.9, MaxHistory: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(upperCfg()); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestWarmupFallbackIsSampleMax(t *testing.T) {
+	p := MustNew(upperCfg())
+	min := p.MinSamples()
+	if min != 182 {
+		t.Fatalf("MinSamples = %d, want 182 for q=0.975 c=0.99", min)
+	}
+	if _, ok := p.Bound(); ok {
+		t.Fatal("bound available with no data")
+	}
+	if p.Warmed() {
+		t.Fatal("Warmed true with no data")
+	}
+	rng := stats.NewRNG(1)
+	maxSeen := math.Inf(-1)
+	for i := 0; i < min-1; i++ {
+		v := rng.Float64()
+		if v > maxSeen {
+			maxSeen = v
+		}
+		p.Observe(v)
+		b, ok := p.Bound()
+		if !ok {
+			t.Fatalf("bound unavailable at n=%d", i+1)
+		}
+		if b != maxSeen {
+			t.Fatalf("warm-up bound at n=%d is %v, want sample max %v", i+1, b, maxSeen)
+		}
+		if p.Warmed() {
+			t.Fatalf("Warmed true during warm-up at n=%d", i+1)
+		}
+	}
+	p.Observe(rng.Float64())
+	if !p.Warmed() {
+		t.Fatal("Warmed false at MinSamples")
+	}
+}
+
+func TestWarmupFallbackIsSampleMinForLowerBound(t *testing.T) {
+	p := MustNew(Config{Kind: LowerBound, Quantile: 0.025, Confidence: 0.99})
+	p.Observe(5)
+	p.Observe(2)
+	p.Observe(9)
+	b, ok := p.Bound()
+	if !ok || b != 2 {
+		t.Errorf("warm-up lower bound = %v, ok=%v; want sample min 2", b, ok)
+	}
+}
+
+func TestLowerBoundMinSamplesSymmetry(t *testing.T) {
+	p := MustNew(Config{Kind: LowerBound, Quantile: 0.025, Confidence: 0.99})
+	if p.MinSamples() != 182 {
+		t.Errorf("lower-bound MinSamples = %d, want 182", p.MinSamples())
+	}
+}
+
+// TestUpperBoundCoverageIID checks the headline guarantee: on an iid
+// series, the fraction of next-observation values that exceed the bound
+// must be at most 1-q (up to Monte-Carlo noise), since the bound is a
+// conservative upper bound on the q-quantile.
+func TestUpperBoundCoverageIID(t *testing.T) {
+	rng := stats.NewRNG(42)
+	p := MustNew(upperCfg())
+	const n = 20000
+	violations, scored := 0, 0
+	for i := 0; i < n; i++ {
+		v := rng.LogNormal(0, 0.5)
+		if b, ok := p.Bound(); ok {
+			scored++
+			if v > b {
+				violations++
+			}
+		}
+		p.Observe(v)
+	}
+	if scored < n/2 {
+		t.Fatalf("bound available for only %d of %d observations", scored, n)
+	}
+	rate := float64(violations) / float64(scored)
+	if rate > 0.025+0.006 {
+		t.Errorf("violation rate %.4f exceeds 1-q = 0.025", rate)
+	}
+}
+
+func TestLowerBoundCoverageIID(t *testing.T) {
+	rng := stats.NewRNG(43)
+	p := MustNew(Config{Kind: LowerBound, Quantile: 0.025, Confidence: 0.99})
+	const n = 20000
+	violations, scored := 0, 0
+	for i := 0; i < n; i++ {
+		v := rng.LogNormal(0, 0.5)
+		if b, ok := p.Bound(); ok {
+			scored++
+			if v < b {
+				violations++
+			}
+		}
+		p.Observe(v)
+	}
+	rate := float64(violations) / float64(scored)
+	if rate > 0.025+0.006 {
+		t.Errorf("violation rate %.4f exceeds q = 0.025", rate)
+	}
+}
+
+// TestUpperBoundCoverageAR1 repeats the coverage check on a strongly
+// autocorrelated series; the ESS correction must keep the violation rate
+// within the target.
+func TestUpperBoundCoverageAR1(t *testing.T) {
+	rng := stats.NewRNG(44)
+	p := MustNew(upperCfg())
+	const n = 30000
+	x := 0.0
+	violations, scored := 0, 0
+	for i := 0; i < n; i++ {
+		x = 0.9*x + rng.NormFloat64()
+		if b, ok := p.Bound(); ok {
+			scored++
+			if x > b {
+				violations++
+			}
+		}
+		p.Observe(x)
+	}
+	rate := float64(violations) / float64(scored)
+	// Autocorrelated violations cluster; allow a wider tolerance but the
+	// rate must stay in the vicinity of 1-q rather than blowing up.
+	if rate > 0.05 {
+		t.Errorf("violation rate %.4f on AR(1) series (target 0.025)", rate)
+	}
+}
+
+// TestChangePointAdaptation verifies the predictor re-learns after an
+// upward regime shift: following the jump the bound must move to the new
+// level within a bounded number of observations.
+func TestChangePointAdaptation(t *testing.T) {
+	rng := stats.NewRNG(45)
+	p := MustNew(upperCfg())
+	for i := 0; i < 2000; i++ {
+		p.Observe(1 + 0.05*rng.Float64())
+	}
+	b0, ok := p.Bound()
+	if !ok || b0 > 1.06 {
+		t.Fatalf("pre-shift bound = %v, ok=%v", b0, ok)
+	}
+	// Regime shift: prices jump 10x.
+	adapted := -1
+	for i := 0; i < 2000; i++ {
+		p.Observe(10 + 0.5*rng.Float64())
+		if b, ok := p.Bound(); ok && b >= 10 && adapted < 0 {
+			adapted = i
+		}
+	}
+	if adapted < 0 {
+		t.Fatal("bound never adapted to the new regime")
+	}
+	if adapted > 8*DefaultChangePointWindow {
+		t.Errorf("adaptation took %d observations (window %d)", adapted, DefaultChangePointWindow)
+	}
+	if p.ChangePoints() == 0 {
+		t.Error("no change point recorded despite 10x regime shift")
+	}
+}
+
+// TestDownwardShiftAdaptation verifies the median-shift detector: after a
+// large price drop the (upper) bound must eventually fall, even though a
+// falling series never violates an upper bound.
+func TestDownwardShiftAdaptation(t *testing.T) {
+	rng := stats.NewRNG(46)
+	p := MustNew(upperCfg())
+	for i := 0; i < 2000; i++ {
+		p.Observe(10 + 0.5*rng.Float64())
+	}
+	adapted := -1
+	for i := 0; i < 2000; i++ {
+		p.Observe(1 + 0.05*rng.Float64())
+		if b, ok := p.Bound(); ok && b < 2 && adapted < 0 {
+			adapted = i
+		}
+	}
+	if adapted < 0 {
+		t.Fatal("upper bound never adapted to the cheaper regime")
+	}
+	if adapted > 8*DefaultChangePointWindow {
+		t.Errorf("downward adaptation took %d observations", adapted)
+	}
+}
+
+func TestConstantSeriesNoSpuriousChangePoints(t *testing.T) {
+	p := MustNew(upperCfg())
+	for i := 0; i < 5000; i++ {
+		p.Observe(0.25)
+	}
+	if p.ChangePoints() != 0 {
+		t.Errorf("constant series fired %d change points", p.ChangePoints())
+	}
+	b, ok := p.Bound()
+	if !ok || b != 0.25 {
+		t.Errorf("constant series bound = %v, ok=%v", b, ok)
+	}
+}
+
+func TestMaxHistoryEviction(t *testing.T) {
+	cfg := upperCfg()
+	cfg.MaxHistory = 500
+	p := MustNew(cfg)
+	rng := stats.NewRNG(50)
+	// First 2500 observations near 100, last 600 near 1: after eviction of
+	// everything but the final 500, the bound must reflect only the cheap
+	// tail. Stationary noise within each phase avoids trend-driven change
+	// points, and the final phase is long enough to flush detector
+	// retention as well.
+	for i := 0; i < 2500; i++ {
+		p.Observe(100 + rng.Float64())
+	}
+	for i := 0; i < 600; i++ {
+		p.Observe(1 + 0.01*rng.Float64())
+	}
+	if p.Len() > 500 {
+		t.Fatalf("Len = %d, want <= 500", p.Len())
+	}
+	b, ok := p.Bound()
+	if !ok || b > 2 {
+		t.Errorf("bound = %v, ok=%v; old expensive regime not evicted", b, ok)
+	}
+}
+
+func TestObserveIgnoresNonFinite(t *testing.T) {
+	p := MustNew(upperCfg())
+	p.Observe(math.NaN())
+	p.Observe(math.Inf(1))
+	p.Observe(math.Inf(-1))
+	if p.Len() != 0 {
+		t.Errorf("non-finite observations retained: Len = %d", p.Len())
+	}
+}
+
+func TestBoundSeries(t *testing.T) {
+	rng := stats.NewRNG(47)
+	vals := make([]float64, 400)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	bounds, err := BoundSeries(vals, upperCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != len(vals) {
+		t.Fatalf("len = %d, want %d", len(bounds), len(vals))
+	}
+	runningMax := math.Inf(-1)
+	for i, b := range bounds {
+		if vals[i] > runningMax {
+			runningMax = vals[i]
+		}
+		if math.IsNaN(b) {
+			t.Fatalf("bound at %d unexpectedly NaN", i)
+		}
+		if b < 0 || b > 1 {
+			t.Fatalf("bound at %d = %v outside data range", i, b)
+		}
+		if i < 181 && b != runningMax {
+			t.Fatalf("warm-up bound at %d = %v, want running max %v", i, b, runningMax)
+		}
+	}
+}
+
+func TestBoundSeriesBadConfig(t *testing.T) {
+	if _, err := BoundSeries([]float64{1}, Config{}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestFenwickBackendMatchesTreap(t *testing.T) {
+	rng := stats.NewRNG(48)
+	mk := func(store func() OrderStats) *Predictor {
+		cfg := upperCfg()
+		cfg.NewStore = store
+		return MustNew(cfg)
+	}
+	pt := mk(func() OrderStats { return NewTreap(5) })
+	pf := mk(func() OrderStats { return NewFenwickStore(0.0001, 2) })
+	for i := 0; i < 4000; i++ {
+		v := math.Round(rng.LogNormal(-2, 0.4)*1e4) / 1e4
+		pt.Observe(v)
+		pf.Observe(v)
+		bt, okt := pt.Bound()
+		bf, okf := pf.Bound()
+		if okt != okf {
+			t.Fatalf("step %d: availability diverged", i)
+		}
+		if okt && math.Abs(bt-bf) > 1e-9 {
+			t.Fatalf("step %d: treap bound %v != fenwick bound %v", i, bt, bf)
+		}
+	}
+}
+
+func TestAutocorrCorrectionMakesBoundConservative(t *testing.T) {
+	// On a strongly autocorrelated series, the corrected predictor's upper
+	// bound must be at least the uncorrected one pointwise. Change-point
+	// detection is disabled on both so they retain identical histories and
+	// the comparison is apples to apples.
+	rng := stats.NewRNG(49)
+	onCfg := upperCfg()
+	onCfg.NoChangePoint = true
+	on := MustNew(onCfg)
+	offCfg := upperCfg()
+	offCfg.NoAutocorr = true
+	offCfg.NoChangePoint = true
+	off := MustNew(offCfg)
+	x := 0.0
+	for i := 0; i < 5000; i++ {
+		x = 0.95*x + rng.NormFloat64()
+		on.Observe(x)
+		off.Observe(x)
+		bOn, ok1 := on.Bound()
+		bOff, ok2 := off.Bound()
+		if ok1 && ok2 && on.Warmed() && off.Warmed() && bOn < bOff-1e-12 {
+			t.Fatalf("step %d: corrected bound %v below uncorrected %v", i, bOn, bOff)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if UpperBound.String() != "upper" || LowerBound.String() != "lower" {
+		t.Error("Kind.String mismatch")
+	}
+}

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/core"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+// Client is a typed client for the DrAFTS prediction service — what the
+// modified Globus Galaxies provisioner used to fetch "the DrAFTS graph for
+// each instance type from the DrAFTS service" (§4.3).
+type Client struct {
+	// BaseURL of the service, e.g. "http://localhost:8732".
+	BaseURL string
+	// Account, when set, is sent with prediction requests so the service
+	// translates this account's obfuscated zone names (§2.2, §3.3).
+	Account string
+	// HTTPClient defaults to a client with a 30-second timeout.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) get(path string, query url.Values, out any) error {
+	u, err := url.Parse(c.BaseURL)
+	if err != nil {
+		return fmt.Errorf("service client: bad base URL: %w", err)
+	}
+	u.Path = path
+	u.RawQuery = query.Encode()
+	resp, err := c.http().Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("service client: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("service client: %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Combos lists every (zone, type) the service has tables for.
+func (c *Client) Combos() ([]spot.Combo, error) {
+	var raw []comboJSON
+	if err := c.get("/v1/combos", nil, &raw); err != nil {
+		return nil, err
+	}
+	out := make([]spot.Combo, len(raw))
+	for i, r := range raw {
+		out[i] = spot.Combo{Zone: spot.Zone(r.Zone), Type: spot.InstanceType(r.InstanceType)}
+	}
+	return out, nil
+}
+
+// Predictions fetches the bid table for a combo at a probability level.
+func (c *Client) Predictions(combo spot.Combo, probability float64) (core.BidTable, error) {
+	q := url.Values{}
+	q.Set("zone", string(combo.Zone))
+	q.Set("type", string(combo.Type))
+	q.Set("probability", strconv.FormatFloat(probability, 'f', -1, 64))
+	if c.Account != "" {
+		q.Set("account", c.Account)
+	}
+	var tj TableJSON
+	if err := c.get("/v1/predictions", q, &tj); err != nil {
+		return core.BidTable{}, err
+	}
+	_, table := FromJSON(tj)
+	return table, nil
+}
+
+// Advise asks the service directly for the smallest bid guaranteeing the
+// duration; unlike BidFor it can escalate beyond the published table span.
+func (c *Client) Advise(combo spot.Combo, probability float64, d time.Duration) (core.Quote, error) {
+	q := url.Values{}
+	q.Set("zone", string(combo.Zone))
+	q.Set("type", string(combo.Type))
+	q.Set("probability", strconv.FormatFloat(probability, 'f', -1, 64))
+	q.Set("duration", d.String())
+	if c.Account != "" {
+		q.Set("account", c.Account)
+	}
+	var qj QuoteJSON
+	if err := c.get("/v1/advise", q, &qj); err != nil {
+		return core.Quote{}, err
+	}
+	return core.Quote{
+		Bid:         qj.Bid,
+		Duration:    time.Duration(qj.DurationSeconds * float64(time.Second)),
+		Probability: qj.Probability,
+	}, nil
+}
+
+// BidFor is the common client workflow: fetch the table and pick the
+// smallest bid guaranteeing duration d.
+func (c *Client) BidFor(combo spot.Combo, probability float64, d time.Duration) (float64, error) {
+	table, err := c.Predictions(combo, probability)
+	if err != nil {
+		return 0, err
+	}
+	bid, ok := table.BidFor(d)
+	if !ok {
+		return 0, fmt.Errorf("service client: no tabulated bid guarantees %v for %s", d, combo)
+	}
+	return bid, nil
+}

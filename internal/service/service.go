@@ -1,0 +1,399 @@
+// Package service implements the DrAFTS on-line prediction service and its
+// Go client (§3.3). The original has run at predictspotprice.cs.ucsb.edu
+// since late 2015 as part of the Aristotle project; this implementation
+// reproduces its contract:
+//
+//   - it periodically (every 15 minutes by default) pulls price histories
+//     and recomputes a set of maximum-bid predictions for every instance
+//     type and availability zone;
+//   - for each combo it publishes bid tables at the 0.95 and 0.99
+//     probability levels, starting at the smallest bid that can guarantee
+//     any duration and increasing in 5% increments up to 4x that minimum;
+//   - clients fetch tables over a REST API as JSON (machine-readable, as
+//     consumed by the Globus Galaxies provisioner in §4.3).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/core"
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/obfuscate"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+// Source supplies price histories; *history.Store satisfies it.
+type Source interface {
+	Combos() []spot.Combo
+	Full(c spot.Combo) (*history.Series, bool)
+}
+
+// Config parameterizes the service.
+type Config struct {
+	Source Source
+	// Probabilities to precompute tables for (default 0.95 and 0.99, the
+	// levels the production service publishes).
+	Probabilities []float64
+	// RefreshEvery is the recomputation period (default 15 minutes).
+	RefreshEvery time.Duration
+	// MaxHistory caps the history fed to each predictor (default three
+	// months).
+	MaxHistory int
+	// AccountMappings translates per-account obfuscated zone names to the
+	// service's canonical ones. The provider remaps zone names per account
+	// (§2.2), so a client's "us-east-1b" may be the service's
+	// "us-east-1d"; the production prototype preconfigured this mapping
+	// for each client (§3.3). Requests carrying ?account=<id> with a
+	// configured mapping are translated; unknown accounts get an error
+	// rather than silently wrong predictions.
+	AccountMappings map[string]obfuscate.Mapping
+}
+
+// Server computes and serves bid tables, and retains each combo's online
+// predictor so /v1/advise can answer duration queries beyond the published
+// table span (escalating exactly as the library's Advise does).
+type Server struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	tables map[tableKey]core.BidTable
+	preds  map[tableKey]*core.Predictor
+	asOf   time.Time
+}
+
+type tableKey struct {
+	combo spot.Combo
+	prob  float64
+}
+
+// New validates the configuration and returns a server with no tables yet;
+// call Refresh (or Start) to populate it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("service: nil source")
+	}
+	if len(cfg.Probabilities) == 0 {
+		cfg.Probabilities = []float64{0.95, 0.99}
+	}
+	for _, p := range cfg.Probabilities {
+		if !(p > 0 && p < 1) {
+			return nil, fmt.Errorf("service: probability %v outside (0,1)", p)
+		}
+	}
+	if cfg.RefreshEvery == 0 {
+		cfg.RefreshEvery = 15 * time.Minute
+	}
+	if cfg.RefreshEvery < 0 {
+		return nil, fmt.Errorf("service: negative refresh period")
+	}
+	if cfg.MaxHistory == 0 {
+		cfg.MaxHistory = core.DefaultMaxHistory
+	}
+	return &Server{
+		cfg:    cfg,
+		tables: make(map[tableKey]core.BidTable),
+		preds:  make(map[tableKey]*core.Predictor),
+	}, nil
+}
+
+// Refresh recomputes every combo's bid tables from the current histories,
+// in parallel across CPUs.
+func (s *Server) Refresh() error {
+	combos := s.cfg.Source.Combos()
+	fresh := make(map[tableKey]core.BidTable, len(combos)*len(s.cfg.Probabilities))
+	freshPreds := make(map[tableKey]*core.Predictor, len(combos)*len(s.cfg.Probabilities))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	work := make(chan spot.Combo)
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				series, ok := s.cfg.Source.Full(c)
+				if !ok || series.Len() == 0 {
+					continue
+				}
+				for _, prob := range s.cfg.Probabilities {
+					pred, err := core.NewPredictor(core.Params{
+						Probability: prob,
+						MaxHistory:  s.cfg.MaxHistory,
+					}, series.Start)
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						continue
+					}
+					pred.ObserveSeries(series)
+					if table, ok := pred.Table(); ok {
+						mu.Lock()
+						fresh[tableKey{combo: c, prob: prob}] = table
+						freshPreds[tableKey{combo: c, prob: prob}] = pred
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	for _, c := range combos {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	s.mu.Lock()
+	s.tables = fresh
+	s.preds = freshPreds
+	s.asOf = time.Now().UTC()
+	s.mu.Unlock()
+	return nil
+}
+
+// Start runs the 15-minute refresh loop until the context is cancelled.
+// The first refresh happens immediately; its error is returned.
+func (s *Server) Start(ctx context.Context) error {
+	if err := s.Refresh(); err != nil {
+		return err
+	}
+	ticker := time.NewTicker(s.cfg.RefreshEvery)
+	go func() {
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				// Periodic refreshes are best-effort; the previous tables
+				// keep serving if a recomputation fails.
+				_ = s.Refresh()
+			}
+		}
+	}()
+	return nil
+}
+
+// table returns the stored table for a combo/probability.
+func (s *Server) table(c spot.Combo, prob float64) (core.BidTable, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableKey{combo: c, prob: prob}]
+	return t, ok
+}
+
+// Wire formats.
+
+// PointJSON is one bid/duration pair on the wire.
+type PointJSON struct {
+	Bid             float64 `json:"bid_usd_per_hour"`
+	DurationSeconds float64 `json:"guaranteed_duration_seconds"`
+}
+
+// TableJSON is a bid table on the wire.
+type TableJSON struct {
+	Zone         string      `json:"zone"`
+	InstanceType string      `json:"instance_type"`
+	Probability  float64     `json:"probability"`
+	At           time.Time   `json:"as_of"`
+	Points       []PointJSON `json:"points"`
+}
+
+func toJSON(c spot.Combo, t core.BidTable) TableJSON {
+	out := TableJSON{
+		Zone:         string(c.Zone),
+		InstanceType: string(c.Type),
+		Probability:  t.Probability,
+		At:           t.At,
+	}
+	for _, p := range t.Points {
+		out.Points = append(out.Points, PointJSON{
+			Bid:             p.Bid,
+			DurationSeconds: p.Duration.Seconds(),
+		})
+	}
+	return out
+}
+
+// FromJSON converts a wire table back to the core representation.
+func FromJSON(tj TableJSON) (spot.Combo, core.BidTable) {
+	t := core.BidTable{At: tj.At, Probability: tj.Probability}
+	for _, p := range tj.Points {
+		t.Points = append(t.Points, core.BidPoint{
+			Bid:      p.Bid,
+			Duration: time.Duration(p.DurationSeconds * float64(time.Second)),
+		})
+	}
+	return spot.Combo{Zone: spot.Zone(tj.Zone), Type: spot.InstanceType(tj.InstanceType)}, t
+}
+
+// Handler returns the REST API.
+//
+//	GET /healthz                  -> {"status":"ok","tables":N}
+//	GET /v1/combos                -> [{"zone":..., "instance_type":...}, ...]
+//	GET /v1/predictions?zone=Z&type=T&probability=P -> TableJSON
+//	GET /v1/advise?zone=Z&type=T&probability=P&duration=2h -> QuoteJSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/combos", s.handleCombos)
+	mux.HandleFunc("GET /v1/predictions", s.handlePredictions)
+	mux.HandleFunc("GET /v1/advise", s.handleAdvise)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	n := len(s.tables)
+	asOf := s.asOf
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tables": n, "as_of": asOf})
+}
+
+type comboJSON struct {
+	Zone         string `json:"zone"`
+	InstanceType string `json:"instance_type"`
+}
+
+func (s *Server) handleCombos(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	seen := make(map[spot.Combo]bool)
+	for k := range s.tables {
+		seen[k.combo] = true
+	}
+	s.mu.RUnlock()
+	out := make([]comboJSON, 0, len(seen))
+	for c := range seen {
+		out = append(out, comboJSON{Zone: string(c.Zone), InstanceType: string(c.Type)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Zone != out[j].Zone {
+			return out[i].Zone < out[j].Zone
+		}
+		return out[i].InstanceType < out[j].InstanceType
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
+	visible, combo, prob, ok := s.resolveCombo(w, r)
+	if !ok {
+		return
+	}
+	table, ok := s.table(combo, prob)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no table for %s at probability %v", combo, prob)
+		return
+	}
+	// Answer under the client's own zone name.
+	writeJSON(w, http.StatusOK, toJSON(spot.Combo{Zone: visible, Type: combo.Type}, table))
+}
+
+// QuoteJSON is a bid recommendation on the wire.
+type QuoteJSON struct {
+	Zone            string  `json:"zone"`
+	InstanceType    string  `json:"instance_type"`
+	Probability     float64 `json:"probability"`
+	Bid             float64 `json:"bid_usd_per_hour"`
+	DurationSeconds float64 `json:"guaranteed_duration_seconds"`
+}
+
+// resolveCombo parses and (when an account is given) deobfuscates the
+// zone/type query parameters; it writes the error response itself.
+func (s *Server) resolveCombo(w http.ResponseWriter, r *http.Request) (visible spot.Zone, combo spot.Combo, prob float64, ok bool) {
+	zone := r.URL.Query().Get("zone")
+	ty := r.URL.Query().Get("type")
+	probStr := r.URL.Query().Get("probability")
+	if zone == "" || ty == "" {
+		writeErr(w, http.StatusBadRequest, "zone and type are required")
+		return
+	}
+	prob = 0.99
+	if probStr != "" {
+		var err error
+		prob, err = strconv.ParseFloat(probStr, 64)
+		if err != nil || !(prob > 0 && prob < 1) {
+			writeErr(w, http.StatusBadRequest, "invalid probability %q", probStr)
+			return
+		}
+	}
+	visible = spot.Zone(zone)
+	canonical := visible
+	if account := r.URL.Query().Get("account"); account != "" {
+		m, found := s.cfg.AccountMappings[account]
+		if !found {
+			writeErr(w, http.StatusForbidden, "no zone mapping configured for account %q", account)
+			return
+		}
+		var err error
+		canonical, err = m.Physical(visible)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "account %q: %v", account, err)
+			return
+		}
+	}
+	return visible, spot.Combo{Zone: canonical, Type: spot.InstanceType(ty)}, prob, true
+}
+
+// handleAdvise answers the user question directly: the smallest bid that
+// guarantees the requested duration, escalating past the published table
+// span when necessary.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	visible, combo, prob, ok := s.resolveCombo(w, r)
+	if !ok {
+		return
+	}
+	durStr := r.URL.Query().Get("duration")
+	if durStr == "" {
+		writeErr(w, http.StatusBadRequest, "duration is required (e.g. 2h30m)")
+		return
+	}
+	dur, err := time.ParseDuration(durStr)
+	if err != nil || dur <= 0 {
+		writeErr(w, http.StatusBadRequest, "invalid duration %q", durStr)
+		return
+	}
+	// Predictors are never mutated after a refresh installs them (Advise
+	// and its callees are read-only), so sharing one across concurrent
+	// requests is safe.
+	s.mu.RLock()
+	pred := s.preds[tableKey{combo: combo, prob: prob}]
+	s.mu.RUnlock()
+	if pred == nil {
+		writeErr(w, http.StatusNotFound, "no predictor for %s at probability %v", combo, prob)
+		return
+	}
+	quote, err := pred.Advise(dur)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "cannot guarantee %v on %s: %v", dur, combo, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QuoteJSON{
+		Zone:            string(visible),
+		InstanceType:    string(combo.Type),
+		Probability:     prob,
+		Bid:             quote.Bid,
+		DurationSeconds: quote.Duration.Seconds(),
+	})
+}

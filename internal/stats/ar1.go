@@ -1,0 +1,81 @@
+package stats
+
+import "math"
+
+// AR1 is a fitted first-order autoregressive model
+//
+//	x_t - mu = phi * (x_{t-1} - mu) + eps_t,  eps_t ~ N(0, sigma^2).
+//
+// Ben-Yehuda et al. (cited in §4.1.3) model Spot price series as piecewise
+// AR(1); the paper's AR(1) comparison baseline fits this model to the
+// segment between change points and uses quantiles of its stationary
+// distribution as bids.
+type AR1 struct {
+	Mu    float64 // process mean
+	Phi   float64 // lag-1 coefficient, clamped to (-1, 1) for stationarity
+	Sigma float64 // innovation standard deviation
+}
+
+// FitAR1 estimates an AR(1) model by the Yule-Walker method: phi is the
+// lag-1 autocorrelation, mu the sample mean, and sigma derived from the
+// sample variance via var = sigma^2 / (1 - phi^2). At least three
+// observations are required; ok is false otherwise.
+func FitAR1(xs []float64) (AR1, bool) {
+	if len(xs) < 3 {
+		return AR1{}, false
+	}
+	s := Describe(xs)
+	phi := Autocorrelation(xs, 1)
+	if math.IsNaN(phi) {
+		return AR1{}, false
+	}
+	// Clamp away from the unit root so the stationary variance exists.
+	const maxPhi = 0.999
+	if phi > maxPhi {
+		phi = maxPhi
+	}
+	if phi < -maxPhi {
+		phi = -maxPhi
+	}
+	sigma2 := s.Variance * (1 - phi*phi)
+	if sigma2 < 0 {
+		sigma2 = 0
+	}
+	return AR1{Mu: s.Mean, Phi: phi, Sigma: math.Sqrt(sigma2)}, true
+}
+
+// StationaryStddev returns the standard deviation of the stationary
+// distribution, sigma / sqrt(1 - phi^2).
+func (m AR1) StationaryStddev() float64 {
+	den := 1 - m.Phi*m.Phi
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return m.Sigma / math.Sqrt(den)
+}
+
+// StationaryQuantile returns the q-th quantile of the model's Gaussian
+// stationary distribution. This is what the AR(1) baseline bids: the target
+// quantile of the fitted process, treated as a bound on all future values
+// of the stationary segment (§4.1.3).
+func (m AR1) StationaryQuantile(q float64) float64 {
+	return m.Mu + NormalQuantile(q)*m.StationaryStddev()
+}
+
+// ForecastQuantile returns the q-th quantile of x_{t+h} given x_t = x. As
+// h grows the forecast distribution converges to the stationary one.
+func (m AR1) ForecastQuantile(x float64, h int, q float64) float64 {
+	if h <= 0 {
+		return x
+	}
+	ph := math.Pow(m.Phi, float64(h))
+	mean := m.Mu + ph*(x-m.Mu)
+	den := 1 - m.Phi*m.Phi
+	var v float64
+	if den <= 0 {
+		v = float64(h) * m.Sigma * m.Sigma
+	} else {
+		v = m.Sigma * m.Sigma * (1 - math.Pow(m.Phi, 2*float64(h))) / den
+	}
+	return mean + NormalQuantile(q)*math.Sqrt(v)
+}

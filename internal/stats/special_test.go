@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		// I_x(1,1) = x (uniform CDF).
+		{1, 1, 0.3, 0.3},
+		{1, 1, 0.777, 0.777},
+		// I_x(1,b) = 1-(1-x)^b.
+		{1, 3, 0.2, 1 - math.Pow(0.8, 3)},
+		// I_x(a,1) = x^a.
+		{4, 1, 0.5, math.Pow(0.5, 4)},
+		// Symmetric beta at its median.
+		{5, 5, 0.5, 0.5},
+		// Integer-parameter identity: I_x(2,6) = P(Bin(7,x) >= 2)
+		// = 1 - 0.6^7 - 7*0.4*0.6^6 = 0.8413696 exactly.
+		{2, 6, 0.4, 0.8413696},
+	}
+	for _, c := range cases {
+		got := RegIncBeta(c.a, c.b, c.x)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("RegIncBeta(%v,%v,%v) = %.12f, want %.12f", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v, want 0", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v, want 1", got)
+	}
+	if got := RegIncBeta(2, 3, -0.5); got != 0 {
+		t.Errorf("I_{-0.5} = %v, want 0", got)
+	}
+	for _, bad := range [][3]float64{{0, 1, 0.5}, {1, -2, 0.5}, {math.NaN(), 1, 0.5}} {
+		if got := RegIncBeta(bad[0], bad[1], bad[2]); !math.IsNaN(got) {
+			t.Errorf("RegIncBeta(%v) = %v, want NaN", bad, got)
+		}
+	}
+}
+
+func TestRegIncBetaComplement(t *testing.T) {
+	f := func(aRaw, bRaw, xRaw uint16) bool {
+		a := 0.5 + float64(aRaw%1000)
+		b := 0.5 + float64(bRaw%1000)
+		x := (float64(xRaw) + 0.5) / 65536.5
+		lhs := RegIncBeta(a, b, x)
+		rhs := 1 - RegIncBeta(b, a, 1-x)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBetaMonotoneInX(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 1.0001; x += 0.01 {
+		v := RegIncBeta(3.5, 7.25, math.Min(x, 1))
+		if v < prev-1e-12 {
+			t.Fatalf("RegIncBeta not monotone at x=%v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{2.3263478740408408, 0.99},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for p := 0.0005; p < 1; p += 0.0101 {
+		x := NormalQuantile(p)
+		back := NormalCDF(x)
+		if math.Abs(back-p) > 1e-12 {
+			t.Fatalf("round trip at p=%v: quantile %v maps back to %v", p, x, back)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("quantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile(1) should be +Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("out-of-range p should be NaN")
+	}
+	if got := NormalQuantile(0.5); math.Abs(got) > 1e-15 {
+		t.Errorf("quantile(0.5) = %v, want 0", got)
+	}
+}

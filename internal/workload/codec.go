@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Trace archive format: one job per CSV row. This is how the paper's
+// production trace would be fed in ("a workload recorded from production
+// usage of the platform", §4.3) — submission offsets are already relative,
+// matching the paper's replay transform.
+var traceHeader = []string{"id", "tool", "submit_offset_seconds", "runtime_seconds"}
+
+// WriteCSV archives a trace.
+func (t Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return err
+	}
+	for _, j := range t.Jobs {
+		rec := []string{
+			strconv.Itoa(j.ID),
+			j.Profile.Tool,
+			strconv.FormatFloat(j.Submit.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(j.Runtime.Seconds(), 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV restores a trace written by WriteCSV. Tools are resolved against
+// the profile catalog, jobs are re-sorted by submission offset, and the
+// result is validated.
+func ReadCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = len(traceHeader)
+	head, err := cr.Read()
+	if err != nil {
+		return Trace{}, fmt.Errorf("workload: reading header: %w", err)
+	}
+	for i, want := range traceHeader {
+		if head[i] != want {
+			return Trace{}, fmt.Errorf("workload: header column %d is %q, want %q", i, head[i], want)
+		}
+	}
+	var tr Trace
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Trace{}, err
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return Trace{}, fmt.Errorf("workload: bad id %q: %w", rec[0], err)
+		}
+		prof, err := ProfileFor(rec[1])
+		if err != nil {
+			return Trace{}, err
+		}
+		submit, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("workload: bad submit offset %q: %w", rec[2], err)
+		}
+		runtime, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("workload: bad runtime %q: %w", rec[3], err)
+		}
+		tr.Jobs = append(tr.Jobs, Job{
+			ID:      id,
+			Profile: prof,
+			Submit:  time.Duration(submit * float64(time.Second)),
+			Runtime: time.Duration(runtime * float64(time.Second)),
+		})
+	}
+	sort.Slice(tr.Jobs, func(i, j int) bool { return tr.Jobs[i].Submit < tr.Jobs[j].Submit })
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGalaxiesShape(t *testing.T) {
+	tr := Galaxies(1000, 0, 42) // default 3h20m span
+	if len(tr.Jobs) != 1000 {
+		t.Fatalf("%d jobs", len(tr.Jobs))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if span := tr.Span(); span > 3*time.Hour+20*time.Minute+3*time.Minute {
+		t.Errorf("span %v exceeds the submission window", span)
+	}
+	// Few jobs above one hour (the paper: "the workload contains few jobs
+	// that last longer than one hour").
+	over := 0
+	for _, j := range tr.Jobs {
+		if j.Runtime > time.Hour {
+			over++
+		}
+	}
+	if over == 0 {
+		t.Error("no job exceeds one hour; the gatk tail should produce a few")
+	}
+	if frac := float64(over) / 1000; frac > 0.08 {
+		t.Errorf("%.1f%% of jobs exceed one hour; should be a small fraction", 100*frac)
+	}
+	// Total work should land in a plausible machine-hours range.
+	work := tr.TotalWork().Hours()
+	if work < 80 || work > 450 {
+		t.Errorf("total work %.0f hours outside plausible range", work)
+	}
+}
+
+func TestGalaxiesDeterministic(t *testing.T) {
+	a := Galaxies(200, time.Hour, 7)
+	b := Galaxies(200, time.Hour, 7)
+	for i := range a.Jobs {
+		if a.Jobs[i].Submit != b.Jobs[i].Submit || a.Jobs[i].Runtime != b.Jobs[i].Runtime ||
+			a.Jobs[i].Profile.Tool != b.Jobs[i].Profile.Tool {
+			t.Fatalf("job %d diverged", i)
+		}
+	}
+	c := Galaxies(200, time.Hour, 8)
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i].Runtime != c.Jobs[i].Runtime {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGalaxiesEmpty(t *testing.T) {
+	if tr := Galaxies(0, time.Hour, 1); len(tr.Jobs) != 0 {
+		t.Error("zero-job trace not empty")
+	}
+}
+
+func TestToolCatalog(t *testing.T) {
+	names := Tools()
+	if len(names) != 8 {
+		t.Fatalf("%d tools", len(names))
+	}
+	for _, name := range names {
+		p, err := ProfileFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Tool != name || len(p.Candidates) < 2 || p.EstRuntime <= 0 {
+			t.Errorf("profile %+v malformed", p)
+		}
+	}
+	if _, err := ProfileFor("quantum-blast"); err == nil {
+		t.Error("unknown tool accepted")
+	}
+}
+
+func TestEstimateCoversMostRuns(t *testing.T) {
+	// The profile estimate is calibrated near P90: most actual runtimes
+	// must fall below it, but not all.
+	tr := Galaxies(3000, 0, 9)
+	within, total := 0, 0
+	for _, j := range tr.Jobs {
+		total++
+		if j.Runtime <= j.Profile.EstRuntime {
+			within++
+		}
+	}
+	frac := float64(within) / float64(total)
+	if frac < 0.80 || frac > 0.97 {
+		t.Errorf("%.2f of runtimes within estimate; want ~0.90", frac)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := Galaxies(10, time.Hour, 3)
+	tr.Jobs[4].Runtime = 0
+	if err := tr.Validate(); err == nil {
+		t.Error("zero runtime accepted")
+	}
+	tr = Galaxies(10, time.Hour, 3)
+	tr.Jobs[0].Submit = -time.Second
+	if err := tr.Validate(); err == nil {
+		t.Error("negative submit accepted")
+	}
+	tr = Galaxies(10, time.Hour, 3)
+	tr.Jobs[3].Submit = tr.Jobs[9].Submit + time.Hour
+	if err := tr.Validate(); err == nil {
+		t.Error("disordered submits accepted")
+	}
+	tr = Galaxies(10, time.Hour, 3)
+	tr.Jobs[2].Profile.Candidates = nil
+	if err := tr.Validate(); err == nil {
+		t.Error("missing candidates accepted")
+	}
+}
+
+func TestSpanAndWorkEmpty(t *testing.T) {
+	var tr Trace
+	if tr.Span() != 0 || tr.TotalWork() != 0 {
+		t.Error("empty trace span/work nonzero")
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	orig := Galaxies(120, time.Hour, 17)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(orig.Jobs) {
+		t.Fatalf("%d jobs, want %d", len(back.Jobs), len(orig.Jobs))
+	}
+	for i := range orig.Jobs {
+		a, b := orig.Jobs[i], back.Jobs[i]
+		if a.ID != b.ID || a.Profile.Tool != b.Profile.Tool {
+			t.Fatalf("job %d identity changed: %+v vs %+v", i, a, b)
+		}
+		// Offsets survive at millisecond resolution.
+		if d := a.Submit - b.Submit; d > time.Millisecond || d < -time.Millisecond {
+			t.Fatalf("job %d submit drifted by %v", i, d)
+		}
+		if d := a.Runtime - b.Runtime; d > time.Millisecond || d < -time.Millisecond {
+			t.Fatalf("job %d runtime drifted by %v", i, d)
+		}
+	}
+}
+
+func TestTraceReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":   "a,b,c,d\n",
+		"bad id":       "id,tool,submit_offset_seconds,runtime_seconds\nx,fastqc,1,60\n",
+		"unknown tool": "id,tool,submit_offset_seconds,runtime_seconds\n0,quantum-blast,1,60\n",
+		"bad submit":   "id,tool,submit_offset_seconds,runtime_seconds\n0,fastqc,soon,60\n",
+		"bad runtime":  "id,tool,submit_offset_seconds,runtime_seconds\n0,fastqc,1,long\n",
+		"zero runtime": "id,tool,submit_offset_seconds,runtime_seconds\n0,fastqc,1,0\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestTraceReadCSVSortsBySubmit(t *testing.T) {
+	input := "id,tool,submit_offset_seconds,runtime_seconds\n" +
+		"1,fastqc,300,60\n" +
+		"0,fastqc,10,60\n"
+	tr, err := ReadCSV(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].ID != 0 || tr.Jobs[1].ID != 1 {
+		t.Errorf("jobs not re-sorted: %+v", tr.Jobs)
+	}
+}
