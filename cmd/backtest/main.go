@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"github.com/drafts-go/drafts/internal/history"
 	"github.com/drafts-go/drafts/internal/pricegen"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/telemetry"
 )
 
 func main() {
@@ -35,15 +37,18 @@ func main() {
 		leadDays   = flag.Int("lead-days", 90, "history lead before the request window")
 		windowDays = flag.Int("window-days", 61, "request window length (the paper's Oct 1 - Dec 1)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = auto)")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
-	if err := run(*experiment, *seed, *nCombos, *nRequests, *leadDays, *windowDays, *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "backtest:", err)
+	logger := telemetry.NewLogger(os.Stderr, *logLevel, false)
+	slog.SetDefault(logger)
+	if err := run(logger, *experiment, *seed, *nCombos, *nRequests, *leadDays, *windowDays, *workers); err != nil {
+		logger.Error("backtest failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, seed int64, nCombos, nRequests, leadDays, windowDays, workers int) error {
+func run(logger *slog.Logger, experiment string, seed int64, nCombos, nRequests, leadDays, windowDays, workers int) error {
 	combos := spot.Combos()
 	if nCombos > 0 && nCombos < len(combos) {
 		combos = combos[:nCombos]
@@ -65,13 +70,13 @@ func run(experiment string, seed int64, nCombos, nRequests, leadDays, windowDays
 			Seed:        seed,
 			Workers:     workers,
 		}
-		fmt.Fprintf(os.Stderr, "backtesting %d combos x %d requests at p=%v...\n", len(combos), nRequests, p)
+		logger.Info("backtesting", "combos", len(combos), "requests", nRequests, "p", p)
 		began := time.Now()
 		outs, err := backtest.Run(cfg, combos, seriesFor)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(began).Round(time.Second))
+		logger.Info("campaign done", "p", p, "elapsed", time.Since(began).Round(time.Second))
 		return outs, nil
 	}
 

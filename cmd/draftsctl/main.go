@@ -12,17 +12,22 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"github.com/drafts-go/drafts/internal/ascii"
 	"github.com/drafts-go/drafts/internal/service"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/telemetry"
 )
 
 func main() {
 	server := flag.String("server", "http://localhost:8732", "service base URL")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+	logger := telemetry.NewLogger(os.Stderr, *logLevel, false)
+	slog.SetDefault(logger)
 	if flag.NArg() < 1 {
 		usage()
 	}
@@ -39,7 +44,7 @@ func main() {
 		usage()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "draftsctl:", err)
+		logger.Error("draftsctl failed", "err", err)
 		os.Exit(1)
 	}
 }

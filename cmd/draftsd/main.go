@@ -6,43 +6,71 @@
 // (-days of history, regenerated live as the market simulator would emit
 // them). Endpoints:
 //
-//	GET /healthz
+//	GET /healthz        (status, table count, staleness, last refresh error)
+//	GET /metrics        (Prometheus text format)
 //	GET /v1/combos
 //	GET /v1/predictions?zone=Z&type=T&probability=P
 //	GET /v1/advise?zone=Z&type=T&probability=P&duration=2h
+//	GET /debug/pprof/   (only with -pprof)
+//
+// The daemon drains in-flight requests and stops the refresh loop on
+// SIGINT/SIGTERM.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"github.com/drafts-go/drafts/internal/cloudsim"
+	"github.com/drafts-go/drafts/internal/core"
 	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/market"
 	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/qbets"
 	"github.com/drafts-go/drafts/internal/service"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/telemetry"
 )
+
+// shutdownTimeout bounds the drain of in-flight requests after a signal.
+const shutdownTimeout = 10 * time.Second
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8732", "listen address")
-		days    = flag.Int("days", 90, "days of synthetic history per combo")
-		seed    = flag.Int64("seed", 42, "history generator seed")
-		nCombos = flag.Int("combos", 60, "number of combos to serve (0 = all 452; full refreshes take longer)")
-		refresh = flag.Duration("refresh", 15*time.Minute, "table recomputation period")
-		dataDir = flag.String("data", "", "load price histories from a marketgen output directory instead of generating")
+		addr      = flag.String("addr", ":8732", "listen address")
+		days      = flag.Int("days", 90, "days of synthetic history per combo")
+		seed      = flag.Int64("seed", 42, "history generator seed")
+		nCombos   = flag.Int("combos", 60, "number of combos to serve (0 = all 452; full refreshes take longer)")
+		refresh   = flag.Duration("refresh", 15*time.Minute, "table recomputation period")
+		dataDir   = flag.String("data", "", "load price histories from a marketgen output directory instead of generating")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
-	if err := run(*addr, *days, *seed, *nCombos, *refresh, *dataDir); err != nil {
-		fmt.Fprintln(os.Stderr, "draftsd:", err)
+	logger := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat == "json")
+	slog.SetDefault(logger)
+	if err := run(logger, *addr, *days, *seed, *nCombos, *refresh, *dataDir, *pprofOn); err != nil {
+		logger.Error("draftsd failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, days int, seed int64, nCombos int, refresh time.Duration, dataDir string) error {
+func run(logger *slog.Logger, addr string, days int, seed int64, nCombos int, refresh time.Duration, dataDir string, pprofOn bool) error {
+	reg := telemetry.NewRegistry()
+	core.RegisterMetrics(reg)
+	qbets.RegisterMetrics(reg)
+	market.RegisterMetrics(reg)
+	cloudsim.RegisterMetrics(reg)
+
 	var store *history.Store
 	if dataDir != "" {
 		st, loaded, err := history.LoadDir(dataDir)
@@ -50,7 +78,7 @@ func run(addr string, days int, seed int64, nCombos int, refresh time.Duration, 
 			return err
 		}
 		store = st
-		fmt.Fprintf(os.Stderr, "loaded %d combo histories from %s\n", loaded, dataDir)
+		logger.Info("loaded combo histories", "combos", loaded, "dir", dataDir)
 	} else {
 		combos := spot.Combos()
 		if nCombos > 0 && nCombos < len(combos) {
@@ -59,21 +87,62 @@ func run(addr string, days int, seed int64, nCombos int, refresh time.Duration, 
 		n := days * 24 * 12
 		start := time.Now().UTC().Add(-time.Duration(n) * spot.UpdatePeriod).Truncate(spot.UpdatePeriod)
 		store = history.NewStore()
-		fmt.Fprintf(os.Stderr, "generating %d combo histories (%d days)...\n", len(combos), days)
+		logger.Info("generating combo histories", "combos", len(combos), "days", days)
 		if err := (pricegen.Generator{Seed: seed}).Populate(store, combos, start, n); err != nil {
 			return err
 		}
 	}
 
-	srv, err := service.New(service.Config{Source: store, RefreshEvery: refresh})
+	srv, err := service.New(service.Config{
+		Source:       store,
+		RefreshEvery: refresh,
+		Logger:       logger,
+		Metrics:      reg,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "computing initial bid tables...")
-	if err := srv.Start(context.Background()); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger.Info("computing initial bid tables")
+	if err := srv.Start(ctx); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "draftsd listening on %s (%d combos, refresh every %v)\n",
-		addr, len(store.Combos()), refresh)
-	return http.ListenAndServe(addr, srv.Handler())
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("GET /metrics", reg.Handler())
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	hs := &http.Server{Addr: addr, Handler: mux}
+	done := make(chan error, 1)
+	go func() {
+		// On signal: stop accepting, drain in-flight requests, and let the
+		// cancelled ctx wind down the refresh goroutine.
+		<-ctx.Done()
+		logger.Info("shutting down", "timeout", shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		done <- hs.Shutdown(sctx)
+	}()
+
+	logger.Info("draftsd listening",
+		"addr", addr, "combos", len(store.Combos()), "refresh", refresh)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	logger.Info("draftsd stopped")
+	return nil
 }

@@ -10,23 +10,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"text/tabwriter"
 	"time"
 
 	"github.com/drafts-go/drafts/internal/migrate"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/telemetry"
 )
 
 func main() {
 	var (
-		region = flag.String("region", "us-east-1", "region to host in")
-		ty     = flag.String("type", "c4.large", "instance type")
-		days   = flag.Int("days", 14, "hosting horizon in days")
-		seed   = flag.Int64("seed", 3, "market seed (shared across policies)")
-		warmup = flag.Int("warmup", 30*24*12, "market warmup steps")
+		region   = flag.String("region", "us-east-1", "region to host in")
+		ty       = flag.String("type", "c4.large", "instance type")
+		days     = flag.Int("days", 14, "hosting horizon in days")
+		seed     = flag.Int64("seed", 3, "market seed (shared across policies)")
+		warmup   = flag.Int("warmup", 30*24*12, "market warmup steps")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	logger := telemetry.NewLogger(os.Stderr, *logLevel, false)
+	slog.SetDefault(logger)
 
 	cfg := migrate.Config{
 		Region:      spot.Region(*region),
@@ -37,7 +42,7 @@ func main() {
 	}
 	reports, err := migrate.RunAll(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hosting:", err)
+		logger.Error("hosting study failed", "err", err)
 		os.Exit(1)
 	}
 	od, _ := spot.ODPrice(cfg.Type, cfg.Region)

@@ -10,31 +10,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 
 	"github.com/drafts-go/drafts/internal/impact"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/telemetry"
 )
 
 func main() {
 	var (
-		zone   = flag.String("zone", "us-east-1b", "availability zone")
-		ty     = flag.String("type", "c4.large", "instance type")
-		prob   = flag.Float64("p", 0.95, "durability target")
-		levels = flag.String("levels", "0,4,16,64", "comma-separated adoption levels")
-		reqs   = flag.Int("requests", 20, "instances per agent")
-		warmup = flag.Int("warmup", 30*24*12, "warmup steps before agents bid")
-		seed   = flag.Int64("seed", 6, "simulation seed")
+		zone     = flag.String("zone", "us-east-1b", "availability zone")
+		ty       = flag.String("type", "c4.large", "instance type")
+		prob     = flag.Float64("p", 0.95, "durability target")
+		levels   = flag.String("levels", "0,4,16,64", "comma-separated adoption levels")
+		reqs     = flag.Int("requests", 20, "instances per agent")
+		warmup   = flag.Int("warmup", 30*24*12, "warmup steps before agents bid")
+		seed     = flag.Int64("seed", 6, "simulation seed")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	logger := telemetry.NewLogger(os.Stderr, *logLevel, false)
+	slog.SetDefault(logger)
 
 	var adoptions []int
 	for _, part := range strings.Split(*levels, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "impact: bad level %q: %v\n", part, err)
+			logger.Error("bad adoption level", "level", part, "err", err)
 			os.Exit(1)
 		}
 		adoptions = append(adoptions, n)
@@ -49,7 +54,7 @@ func main() {
 		Seed:             *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "impact:", err)
+		logger.Error("impact sweep failed", "err", err)
 		os.Exit(1)
 	}
 

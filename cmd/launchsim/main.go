@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"github.com/drafts-go/drafts/internal/ascii"
 	"github.com/drafts-go/drafts/internal/launch"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/telemetry"
 )
 
 func main() {
@@ -29,8 +31,11 @@ func main() {
 		n          = flag.Int("n", 100, "instances to launch")
 		warmup     = flag.Int("warmup", 3*30*24*12, "market warmup steps before the first launch")
 		seed       = flag.Int64("seed", 1511, "simulation seed")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	logger := telemetry.NewLogger(os.Stderr, *logLevel, false)
+	slog.SetDefault(logger)
 
 	cfg := launch.Config{
 		Probability:  *prob,
@@ -48,13 +53,13 @@ func main() {
 	case "":
 		cfg.Region, cfg.Type = spot.Region(*region), spot.InstanceType(*ty)
 	default:
-		fmt.Fprintf(os.Stderr, "launchsim: unknown experiment %q\n", *experiment)
+		logger.Error("unknown experiment", "experiment", *experiment)
 		os.Exit(1)
 	}
 
 	res, err := launch.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "launchsim:", err)
+		logger.Error("launchsim failed", "err", err)
 		os.Exit(1)
 	}
 

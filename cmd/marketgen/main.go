@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,26 +19,30 @@ import (
 	"github.com/drafts-go/drafts/internal/history"
 	"github.com/drafts-go/drafts/internal/pricegen"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/telemetry"
 )
 
 func main() {
 	var (
-		out    = flag.String("out", "marketdata", "output directory")
-		days   = flag.Int("days", 151, "days of history (90-day lead + the paper's Oct-Dec window)")
-		seed   = flag.Int64("seed", 42, "generator seed")
-		format = flag.String("format", "csv", "output format: csv or json")
-		limit  = flag.Int("combos", 0, "generate only the first N combos (0 = all 452)")
-		only   = flag.String("type", "", "restrict to one instance type")
-		start  = flag.String("start", "2016-07-02T00:00:00Z", "series start time (RFC3339)")
+		out      = flag.String("out", "marketdata", "output directory")
+		days     = flag.Int("days", 151, "days of history (90-day lead + the paper's Oct-Dec window)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		format   = flag.String("format", "csv", "output format: csv or json")
+		limit    = flag.Int("combos", 0, "generate only the first N combos (0 = all 452)")
+		only     = flag.String("type", "", "restrict to one instance type")
+		start    = flag.String("start", "2016-07-02T00:00:00Z", "series start time (RFC3339)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
-	if err := run(*out, *days, *seed, *format, *limit, *only, *start); err != nil {
-		fmt.Fprintln(os.Stderr, "marketgen:", err)
+	logger := telemetry.NewLogger(os.Stderr, *logLevel, false)
+	slog.SetDefault(logger)
+	if err := run(logger, *out, *days, *seed, *format, *limit, *only, *start); err != nil {
+		logger.Error("marketgen failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, days int, seed int64, format string, limit int, only, startStr string) error {
+func run(logger *slog.Logger, out string, days int, seed int64, format string, limit int, only, startStr string) error {
 	if days < 1 {
 		return fmt.Errorf("need at least one day")
 	}
@@ -92,9 +97,10 @@ func run(out string, days int, seed int64, format string, limit int, only, start
 			return cerr
 		}
 		if (i+1)%50 == 0 || i+1 == len(combos) {
-			fmt.Printf("wrote %d/%d series (%s, %s)\n", i+1, len(combos), c, pricegen.ArchetypeFor(c))
+			logger.Info("progress", "written", i+1, "total", len(combos),
+				"combo", c.String(), "archetype", pricegen.ArchetypeFor(c).String())
 		}
 	}
-	fmt.Printf("done: %d series x %d points under %s\n", len(combos), n, out)
+	logger.Info("done", "series", len(combos), "points", n, "dir", out)
 	return nil
 }

@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"github.com/drafts-go/drafts/internal/cloudsim"
 	"github.com/drafts-go/drafts/internal/provisioner"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/telemetry"
 	"github.com/drafts-go/drafts/internal/workload"
 )
 
@@ -31,10 +33,13 @@ func main() {
 		warmup     = flag.Int("warmup", cloudsim.DefaultWarmupSteps, "price history steps before the replay")
 		traceIn    = flag.String("trace", "", "replay a recorded trace (CSV) instead of generating one")
 		traceOut   = flag.String("save-trace", "", "archive the generated trace to this CSV file")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
-	if err := run(*experiment, *jobs, *runs, *seed, *priceSeed, *warmup, *traceIn, *traceOut); err != nil {
-		fmt.Fprintln(os.Stderr, "replay:", err)
+	logger := telemetry.NewLogger(os.Stderr, *logLevel, false)
+	slog.SetDefault(logger)
+	if err := run(logger, *experiment, *jobs, *runs, *seed, *priceSeed, *warmup, *traceIn, *traceOut); err != nil {
+		logger.Error("replay failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -60,14 +65,14 @@ func saveTrace(path string, tr workload.Trace) error {
 	return f.Close()
 }
 
-func run(experiment string, jobs, runs int, seed, priceSeed int64, warmup int, traceIn, traceOut string) error {
+func run(logger *slog.Logger, experiment string, jobs, runs int, seed, priceSeed int64, warmup int, traceIn, traceOut string) error {
 	var trace workload.Trace
 	if traceIn != "" {
 		var err error
 		if trace, err = loadTrace(traceIn); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "loaded %d-job trace from %s\n", len(trace.Jobs), traceIn)
+		logger.Info("loaded trace", "jobs", len(trace.Jobs), "path", traceIn)
 	} else {
 		trace = workload.Galaxies(jobs, 3*time.Hour+20*time.Minute, seed)
 	}
@@ -75,7 +80,7 @@ func run(experiment string, jobs, runs int, seed, priceSeed int64, warmup int, t
 		if err := saveTrace(traceOut, trace); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "archived trace to %s\n", traceOut)
+		logger.Info("archived trace", "path", traceOut)
 	}
 	base := cloudsim.Config{
 		Trace:       trace,
@@ -85,8 +90,8 @@ func run(experiment string, jobs, runs int, seed, priceSeed int64, warmup int, t
 		PriceSeed:   priceSeed,
 		WarmupSteps: warmup,
 	}
-	fmt.Fprintf(os.Stderr, "replaying %d jobs (%.1f machine-hours of work) in %s...\n",
-		len(trace.Jobs), trace.TotalWork().Hours(), base.Region)
+	logger.Info("replaying workload",
+		"jobs", len(trace.Jobs), "machine_hours", trace.TotalWork().Hours(), "region", base.Region)
 
 	switch experiment {
 	case "table2":
@@ -108,8 +113,8 @@ func run(experiment string, jobs, runs int, seed, priceSeed int64, warmup int, t
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "%d experiments x 3 strategies in %v\n",
-			runs, time.Since(began).Round(time.Second))
+		logger.Info("experiments done",
+			"runs", runs, "strategies", 3, "elapsed", time.Since(began).Round(time.Second))
 		fmt.Printf("\nTable 3: averages over %d simulated experiments per method\n\n", runs)
 		return cloudsim.WriteTable3(os.Stdout, sums)
 	}

@@ -388,6 +388,7 @@ func (e *engine) provision(prof workload.Profile) {
 		if delay < time.Second {
 			delay = time.Second
 		}
+		mLaunchDelay.Load().Observe(delay.Seconds())
 		e.pending[tool]++
 		e.schedule(e.now.Add(delay), &event{kind: evInstanceReady, dec: dec, tool: tool})
 	}
@@ -399,6 +400,7 @@ func (e *engine) instanceReady(ev *event) {
 	if err != nil || ev.dec.Bid <= cur {
 		// Launch failure: the market moved above the bid during the
 		// request latency. Retry provisioning for any remaining backlog.
+		mLaunchFails.Load().Inc()
 		if e.queue.Len(ev.tool) > 0 {
 			if p, perr := workload.ProfileFor(ev.tool); perr == nil {
 				e.provision(p)
@@ -413,6 +415,7 @@ func (e *engine) instanceReady(ev *event) {
 		started: e.now,
 		idle:    true,
 	}
+	mInstances.Load().Inc()
 	e.report.Instances++
 	e.running++
 	e.schedule(e.now.Add(time.Hour), &event{kind: evHourBoundary, inst: inst})
@@ -436,6 +439,7 @@ func (e *engine) jobFinish(ev *event) {
 	if inst.terminated || !inst.hasJob || inst.job.ID != ev.job.ID {
 		return // stale event: the instance was revoked mid-job
 	}
+	mJobsCompleted.Load().Inc()
 	e.report.JobsCompleted++
 	if mk := ev.at.Sub(e.cfg.Start); mk > e.report.Makespan {
 		e.report.Makespan = mk
@@ -499,6 +503,7 @@ func (e *engine) revoke(inst *instance) {
 	if inst.terminated {
 		return
 	}
+	mRevocations.Load().Inc()
 	e.report.Terminations++
 	if inst.hasJob {
 		e.queue.Requeue(inst.job)

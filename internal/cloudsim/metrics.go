@@ -1,0 +1,35 @@
+package cloudsim
+
+import (
+	"sync/atomic"
+
+	"github.com/drafts-go/drafts/internal/telemetry"
+)
+
+// launchDelayBuckets cover the calibrated lognormal request latency
+// (mean ~90 s) out to pathological multi-minute tails, in seconds.
+var launchDelayBuckets = []float64{15, 30, 60, 90, 120, 180, 300, 600}
+
+// Instrument slots, nil (no-op) until RegisterMetrics wires a registry.
+var (
+	mInstances     atomic.Pointer[telemetry.Counter]
+	mRevocations   atomic.Pointer[telemetry.Counter]
+	mJobsCompleted atomic.Pointer[telemetry.Counter]
+	mLaunchFails   atomic.Pointer[telemetry.Counter]
+	mLaunchDelay   atomic.Pointer[telemetry.Histogram]
+)
+
+// RegisterMetrics wires the simulator counters into r. Idempotent for a
+// given registry; call at startup before replays run.
+func RegisterMetrics(r *telemetry.Registry) {
+	mInstances.Store(r.Counter("drafts_cloudsim_instances_total",
+		"Spot instances successfully provisioned in simulated replays."))
+	mRevocations.Store(r.Counter("drafts_cloudsim_revocations_total",
+		"Provider revocations during simulated replays (price reached bid)."))
+	mJobsCompleted.Store(r.Counter("drafts_cloudsim_jobs_completed_total",
+		"Workload jobs completed in simulated replays."))
+	mLaunchFails.Store(r.Counter("drafts_cloudsim_launch_failures_total",
+		"Instance requests that failed because the market moved above the bid."))
+	mLaunchDelay.Store(r.Histogram("drafts_cloudsim_launch_seconds",
+		"Simulated instance-request latency in seconds.", launchDelayBuckets))
+}

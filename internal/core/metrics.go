@@ -1,0 +1,33 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"github.com/drafts-go/drafts/internal/telemetry"
+)
+
+// Package-level instrument slots. They default to nil (telemetry off): each
+// recording site then costs one atomic pointer load and one branch, so
+// library users and benchmarks that never call RegisterMetrics pay nothing
+// measurable. atomic.Pointer makes registration safe even if a predictor is
+// already running.
+var (
+	mObservations      atomic.Pointer[telemetry.Counter]
+	mCensoredEpisodes  atomic.Pointer[telemetry.Counter]
+	mAdviseCalls       atomic.Pointer[telemetry.Counter]
+	mAdviseEscalations atomic.Pointer[telemetry.Counter]
+)
+
+// RegisterMetrics wires the predictor-level counters into r. Call once at
+// startup, before heavy predictor traffic; calling with the same registry
+// again is idempotent.
+func RegisterMetrics(r *telemetry.Registry) {
+	mObservations.Store(r.Counter("drafts_predictor_observations_total",
+		"Price observations ingested by DrAFTS predictors."))
+	mCensoredEpisodes.Store(r.Counter("drafts_predictor_censored_episodes_total",
+		"Right-censored survival episodes entering duration samples."))
+	mAdviseCalls.Store(r.Counter("drafts_predictor_advise_total",
+		"Advise quote requests answered."))
+	mAdviseEscalations.Store(r.Counter("drafts_predictor_advise_escalations_total",
+		"Advise searches that escalated past the published table span."))
+}

@@ -63,6 +63,7 @@ func (p *Predictor) Observe(price float64) {
 	if math.IsNaN(price) || math.IsInf(price, 0) || price <= 0 {
 		return
 	}
+	mObservations.Load().Inc()
 	p.price.Observe(price)
 	p.prices = append(p.prices, price)
 	p.count++
@@ -160,6 +161,7 @@ func (p *Predictor) Table() (BidTable, bool) {
 // even that cannot promise d — the caller should fall back to a reliable
 // (On-demand) instance, per the §4.4 cost-optimization strategy.
 func (p *Predictor) Advise(d time.Duration) (Quote, error) {
+	mAdviseCalls.Load().Inc()
 	if d <= 0 {
 		return Quote{}, fmt.Errorf("core: non-positive duration %v", d)
 	}
@@ -177,11 +179,17 @@ func (p *Predictor) Advise(d time.Duration) (Quote, error) {
 	if ceiling < bid0 {
 		ceiling = bid0
 	}
+	span := bid0 * p.params.TableSpanMult
+	escalated := false
 	var last Quote
 	for bid := bid0; ; bid *= p.params.TableRatio {
 		tb := spot.RoundToTick(bid)
 		if tb > ceiling {
 			tb = ceiling
+		}
+		if tb > span && !escalated {
+			escalated = true
+			mAdviseEscalations.Load().Inc()
 		}
 		g, _ := p.GuaranteeFor(tb)
 		last = Quote{Bid: tb, Duration: g, Probability: p.params.Probability}

@@ -164,6 +164,9 @@ func durationBoundScan(prices []float64, level float64, qd, c float64) (steps in
 	if m < 0 {
 		m = 0
 	}
+	if m > 0 {
+		mCensoredEpisodes.Load().Add(uint64(m))
+	}
 	total := resolved + m
 	if total == 0 {
 		return 0, false

@@ -163,6 +163,7 @@ func (m *Market) OnDemand() float64 { return m.od }
 // Step advances the market by one repricing period: background arrivals
 // and departures, supply evolution, clearing, and price announcement.
 func (m *Market) Step() {
+	mRepricings.Load().Inc()
 	m.clock = m.clock.Add(spot.UpdatePeriod)
 
 	// Background departures (user-terminated requests).
@@ -214,6 +215,7 @@ func (m *Market) effectiveCapacity() int {
 
 // clear runs the §2.1 market-clearing mechanism.
 func (m *Market) clear() {
+	mClearings.Load().Inc()
 	capacity := m.effectiveCapacity()
 	sort.SliceStable(m.book, func(i, j int) bool { return m.book[i].bid > m.book[j].bid })
 
@@ -248,6 +250,7 @@ func (m *Market) clear() {
 		}
 		if rejected {
 			if o.inst != nil {
+				mTerminations.Load().Inc()
 				o.inst.Terminated = true
 				o.inst.ByProvider = true
 				o.inst.TerminatedAt = m.clock
@@ -290,6 +293,7 @@ func (m *Market) newBackgroundOrder() *order {
 // accepted; otherwise the launch fails (this is the paper's third failure
 // mode in Figure 3).
 func (m *Market) Submit(bid float64) (*Instance, error) {
+	mSubmissions.Load().Inc()
 	bid = spot.RoundToTick(bid)
 	if bid <= m.price {
 		return nil, fmt.Errorf("market: bid %.4f not above market price %.4f for %v", bid, m.price, m.Combo)

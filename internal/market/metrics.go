@@ -1,0 +1,30 @@
+package market
+
+import (
+	"sync/atomic"
+
+	"github.com/drafts-go/drafts/internal/telemetry"
+)
+
+// Instrument slots, nil (no-op) until RegisterMetrics wires a registry.
+// Step/clear dominate simulation wall-clock, so the off state is one
+// atomic pointer load and a branch per event.
+var (
+	mRepricings   atomic.Pointer[telemetry.Counter]
+	mClearings    atomic.Pointer[telemetry.Counter]
+	mSubmissions  atomic.Pointer[telemetry.Counter]
+	mTerminations atomic.Pointer[telemetry.Counter]
+)
+
+// RegisterMetrics wires the market-simulator counters into r. Idempotent
+// for a given registry; call at startup before markets start stepping.
+func RegisterMetrics(r *telemetry.Registry) {
+	mRepricings.Store(r.Counter("drafts_market_repricings_total",
+		"Market repricing periods stepped (5-minute grid points)."))
+	mClearings.Store(r.Counter("drafts_market_clearings_total",
+		"Uniform-price market clearings run (includes the priming clear)."))
+	mSubmissions.Store(r.Counter("drafts_market_submissions_total",
+		"Instrumented instance requests submitted to a market book."))
+	mTerminations.Store(r.Counter("drafts_market_terminations_total",
+		"Instrumented instances terminated by the provider (price reached bid)."))
+}

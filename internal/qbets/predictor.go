@@ -193,6 +193,7 @@ func (p *Predictor) Observe(v float64) {
 		// Market data never contains non-finite prices; drop defensively.
 		return
 	}
+	mObservations.Load().Inc()
 	if !p.cfg.NoChangePoint {
 		if bound, ok := p.Bound(); ok {
 			viol := (p.cfg.Kind == UpperBound && v > bound) ||
@@ -394,6 +395,7 @@ func (p *Predictor) medianShift() bool {
 // serves the conservative warm-up fallback.
 func (p *Predictor) truncate() {
 	p.changePoints++
+	mChangePoints.Load().Inc()
 	keep := p.cfg.ChangePointWindow
 	for p.histLen() > keep {
 		p.evictOldest()

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/telemetry"
+)
+
+// serviceMetrics holds every instrument the service records. It is always
+// non-nil on a Server; with no registry configured every instrument inside
+// is nil and each recording site costs one branch (the telemetry-off
+// contract), and `on` short-circuits the HTTP middleware entirely.
+type serviceMetrics struct {
+	on bool
+
+	requests *telemetry.CounterVec   // route, code class
+	latency  *telemetry.HistogramVec // route
+
+	refreshDuration *telemetry.Histogram
+	refreshErrors   *telemetry.Counter
+	comboErrors     *telemetry.Counter
+	combosComputed  *telemetry.Counter
+	combosSkipped   *telemetry.Counter
+	tables          *telemetry.Gauge
+	lastSuccess     *telemetry.Gauge
+}
+
+func newServiceMetrics(r *telemetry.Registry) *serviceMetrics {
+	if r == nil {
+		return &serviceMetrics{}
+	}
+	return &serviceMetrics{
+		on: true,
+		requests: r.CounterVec("drafts_http_requests_total",
+			"HTTP requests served, by route and status class.", "route", "code"),
+		latency: r.HistogramVec("drafts_http_request_seconds",
+			"HTTP request latency in seconds, by route.", nil, "route"),
+		refreshDuration: r.Histogram("drafts_refresh_duration_seconds",
+			"Duration of bid-table refresh cycles in seconds.", nil),
+		refreshErrors: r.Counter("drafts_refresh_errors_total",
+			"Refresh cycles that failed outright (produced no tables)."),
+		comboErrors: r.Counter("drafts_refresh_combo_errors_total",
+			"Per-combo predictor failures during refresh cycles."),
+		combosComputed: r.Counter("drafts_refresh_combos_computed_total",
+			"Bid tables successfully computed across refresh cycles."),
+		combosSkipped: r.Counter("drafts_refresh_combos_skipped_total",
+			"Combos skipped during refresh (no usable history or no table)."),
+		tables: r.Gauge("drafts_tables",
+			"Bid tables currently being served."),
+		lastSuccess: r.Gauge("drafts_last_refresh_success_timestamp_seconds",
+			"Unix time of the last successful refresh."),
+	}
+}
+
+// statusWriter captures the status code a handler writes. Handlers here
+// only use Header/Write/WriteHeader, so no other interfaces are forwarded.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the route mux with request counting and latency
+// recording. The route label comes from the mux's own pattern match, so
+// high-cardinality request paths collapse to the registered routes plus
+// "other" for misses.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		began := time.Now()
+		_, pattern := mux.Handler(r)
+		route := routeLabel(pattern)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(sw, r)
+		s.metrics.requests.With(route, statusClass(sw.status)).Inc()
+		s.metrics.latency.With(route).Observe(time.Since(began).Seconds())
+	})
+}
+
+// routeLabel strips the method from a ServeMux pattern ("GET /healthz" ->
+// "/healthz"); unmatched requests collapse to "other".
+func routeLabel(pattern string) string {
+	if pattern == "" {
+		return "other"
+	}
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		return pattern[i+1:]
+	}
+	return pattern
+}
+
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -28,6 +29,7 @@ import (
 	"github.com/drafts-go/drafts/internal/history"
 	"github.com/drafts-go/drafts/internal/obfuscate"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/telemetry"
 )
 
 // Source supplies price histories; *history.Store satisfies it.
@@ -55,18 +57,29 @@ type Config struct {
 	// configured mapping are translated; unknown accounts get an error
 	// rather than silently wrong predictions.
 	AccountMappings map[string]obfuscate.Mapping
+	// Logger receives the service's structured logs (refresh outcomes,
+	// per-combo failures). Nil discards them.
+	Logger *slog.Logger
+	// Metrics, when non-nil, registers the service's metric families
+	// (request counts/latency, refresh instrumentation, table gauges) in
+	// the given registry. Nil disables collection at the cost of one
+	// branch per instrumentation site.
+	Metrics *telemetry.Registry
 }
 
 // Server computes and serves bid tables, and retains each combo's online
 // predictor so /v1/advise can answer duration queries beyond the published
 // table span (escalating exactly as the library's Advise does).
 type Server struct {
-	cfg Config
+	cfg     Config
+	logger  *slog.Logger
+	metrics *serviceMetrics
 
-	mu     sync.RWMutex
-	tables map[tableKey]core.BidTable
-	preds  map[tableKey]*core.Predictor
-	asOf   time.Time
+	mu      sync.RWMutex
+	tables  map[tableKey]core.BidTable
+	preds   map[tableKey]*core.Predictor
+	asOf    time.Time
+	lastErr string // most recent refresh error; "" after a clean refresh
 }
 
 type tableKey struct {
@@ -97,16 +110,29 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxHistory == 0 {
 		cfg.MaxHistory = core.DefaultMaxHistory
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
 	return &Server{
-		cfg:    cfg,
-		tables: make(map[tableKey]core.BidTable),
-		preds:  make(map[tableKey]*core.Predictor),
+		cfg:     cfg,
+		logger:  logger,
+		metrics: newServiceMetrics(cfg.Metrics),
+		tables:  make(map[tableKey]core.BidTable),
+		preds:   make(map[tableKey]*core.Predictor),
 	}, nil
 }
 
 // Refresh recomputes every combo's bid tables from the current histories,
 // in parallel across CPUs.
+//
+// Refreshes are best-effort per combo: a predictor failure is counted,
+// logged, and surfaced through /healthz and the refresh metrics, but the
+// tables that did compute are still installed and keep serving. Refresh
+// returns an error only when failures left it with nothing at all — the
+// one case where the previous table set should stay in place.
 func (s *Server) Refresh() error {
+	began := time.Now()
 	combos := s.cfg.Source.Combos()
 	fresh := make(map[tableKey]core.BidTable, len(combos)*len(s.cfg.Probabilities))
 	freshPreds := make(map[tableKey]*core.Predictor, len(combos)*len(s.cfg.Probabilities))
@@ -114,7 +140,9 @@ func (s *Server) Refresh() error {
 		mu       sync.Mutex
 		wg       sync.WaitGroup
 		firstErr error
-		errOnce  sync.Once
+		lastErr  error
+		errCount int
+		skipped  int
 	)
 	work := make(chan spot.Combo)
 	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
@@ -124,6 +152,9 @@ func (s *Server) Refresh() error {
 			for c := range work {
 				series, ok := s.cfg.Source.Full(c)
 				if !ok || series.Len() == 0 {
+					mu.Lock()
+					skipped++
+					mu.Unlock()
 					continue
 				}
 				for _, prob := range s.cfg.Probabilities {
@@ -132,7 +163,17 @@ func (s *Server) Refresh() error {
 						MaxHistory:  s.cfg.MaxHistory,
 					}, series.Start)
 					if err != nil {
-						errOnce.Do(func() { firstErr = err })
+						s.metrics.comboErrors.Inc()
+						s.logger.Warn("refresh: predictor failed",
+							"zone", string(c.Zone), "type", string(c.Type),
+							"probability", prob, "err", err)
+						mu.Lock()
+						errCount++
+						if firstErr == nil {
+							firstErr = err
+						}
+						lastErr = err
+						mu.Unlock()
 						continue
 					}
 					pred.ObserveSeries(series)
@@ -140,6 +181,10 @@ func (s *Server) Refresh() error {
 						mu.Lock()
 						fresh[tableKey{combo: c, prob: prob}] = table
 						freshPreds[tableKey{combo: c, prob: prob}] = pred
+						mu.Unlock()
+					} else {
+						mu.Lock()
+						skipped++
 						mu.Unlock()
 					}
 				}
@@ -151,14 +196,37 @@ func (s *Server) Refresh() error {
 	}
 	close(work)
 	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+
+	elapsed := time.Since(began)
+	s.metrics.refreshDuration.Observe(elapsed.Seconds())
+	s.metrics.combosComputed.Add(uint64(len(fresh)))
+	s.metrics.combosSkipped.Add(uint64(skipped))
+
+	if len(fresh) == 0 && errCount > 0 {
+		err := fmt.Errorf("service: refresh produced no tables (%d failures, first: %w)", errCount, firstErr)
+		s.metrics.refreshErrors.Inc()
+		s.mu.Lock()
+		s.lastErr = err.Error()
+		s.mu.Unlock()
+		return err
+	}
+
+	now := time.Now().UTC()
+	errStr := ""
+	if errCount > 0 {
+		errStr = fmt.Sprintf("%d combo failures, last: %v", errCount, lastErr)
 	}
 	s.mu.Lock()
 	s.tables = fresh
 	s.preds = freshPreds
-	s.asOf = time.Now().UTC()
+	s.asOf = now
+	s.lastErr = errStr
 	s.mu.Unlock()
+	s.metrics.tables.Set(float64(len(fresh)))
+	s.metrics.lastSuccess.SetTime(now)
+	s.logger.Info("refresh complete",
+		"tables", len(fresh), "skipped", skipped, "combo_errors", errCount,
+		"elapsed", elapsed.Round(time.Millisecond))
 	return nil
 }
 
@@ -177,8 +245,12 @@ func (s *Server) Start(ctx context.Context) error {
 				return
 			case <-ticker.C:
 				// Periodic refreshes are best-effort; the previous tables
-				// keep serving if a recomputation fails.
-				_ = s.Refresh()
+				// keep serving if a recomputation fails, but the failure is
+				// logged, counted (drafts_refresh_errors_total), and
+				// surfaced through /healthz rather than discarded.
+				if err := s.Refresh(); err != nil {
+					s.logger.Error("periodic refresh failed; serving previous tables", "err", err)
+				}
 			}
 		}
 	}()
@@ -240,17 +312,23 @@ func FromJSON(tj TableJSON) (spot.Combo, core.BidTable) {
 
 // Handler returns the REST API.
 //
-//	GET /healthz                  -> {"status":"ok","tables":N}
+//	GET /healthz                  -> {"status":"ok","tables":N,...}
 //	GET /v1/combos                -> [{"zone":..., "instance_type":...}, ...]
 //	GET /v1/predictions?zone=Z&type=T&probability=P -> TableJSON
 //	GET /v1/advise?zone=Z&type=T&probability=P&duration=2h -> QuoteJSON
+//
+// With a metrics registry configured, every request is recorded in
+// drafts_http_requests_total and drafts_http_request_seconds.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/combos", s.handleCombos)
 	mux.HandleFunc("GET /v1/predictions", s.handlePredictions)
 	mux.HandleFunc("GET /v1/advise", s.handleAdvise)
-	return mux
+	if !s.metrics.on {
+		return mux
+	}
+	return s.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -263,12 +341,35 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// staleAfter is how old the table set may grow before /healthz reports it
+// stale: two refresh periods means at least one whole cycle failed or hung.
+func (s *Server) staleAfter() time.Duration {
+	return 2 * s.cfg.RefreshEvery
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	n := len(s.tables)
 	asOf := s.asOf
+	lastErr := s.lastErr
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tables": n, "as_of": asOf})
+	resp := map[string]any{"status": "ok", "tables": n, "as_of": asOf}
+	stale := true
+	if asOf.IsZero() {
+		resp["status"] = "empty"
+	} else {
+		age := time.Since(asOf)
+		resp["as_of_age_seconds"] = age.Seconds()
+		stale = age > s.staleAfter()
+		if stale {
+			resp["status"] = "stale"
+		}
+	}
+	resp["stale"] = stale
+	if lastErr != "" {
+		resp["last_refresh_error"] = lastErr
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type comboJSON struct {

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the structured logger shared by the cmd/ binaries:
+// level is one of "debug", "info", "warn", "error" (case-insensitive), and
+// jsonFormat selects JSON over logfmt-style text output. An unknown level
+// falls back to info — a misspelled flag should not silence a daemon.
+func NewLogger(w io.Writer, level string, jsonFormat bool) *slog.Logger {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// NopLogger returns a logger that discards everything with its Enabled
+// check answering false, so callers pay no attribute formatting. It is the
+// default for library components whose Config carries no logger.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// ParseLevel maps a level name to its slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return slog.LevelInfo, fmt.Errorf("telemetry: unknown log level %q", s)
+}
