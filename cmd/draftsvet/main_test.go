@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdirModuleRoot moves the test into the module root, where the CLI is
+// documented to run (CI invokes `go run ./cmd/draftsvet ./...` there).
+func chdirModuleRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join(wd, "..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+}
+
+func TestExitCodes(t *testing.T) {
+	chdirModuleRoot(t)
+	fixture := filepath.Join("internal", "analysis", "testdata", "src")
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean package", []string{"-run", "detclock", filepath.Join(fixture, "detclock_neg")}, 0},
+		{"findings", []string{"-run", "detclock", filepath.Join(fixture, "detclock_pos")}, 1},
+		{"every positive fixture fails", []string{filepath.Join(fixture, "floatcmp_pos")}, 1},
+		{"unknown analyzer", []string{"-run", "nonesuch"}, 2},
+		{"missing directory", []string{"no/such/dir"}, 2},
+		{"list", []string{"-list"}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(c.args, &stdout, &stderr); got != c.want {
+				t.Fatalf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					c.args, got, c.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestPositiveFixturesAllFail drives the acceptance criterion directly:
+// the driver exits non-zero on each analyzer's positive testdata package.
+func TestPositiveFixturesAllFail(t *testing.T) {
+	chdirModuleRoot(t)
+	matches, err := filepath.Glob(filepath.Join("internal", "analysis", "testdata", "src", "*_pos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 6 {
+		t.Fatalf("found %d positive fixtures, want one per analyzer", len(matches))
+	}
+	for _, dir := range matches {
+		name := strings.TrimSuffix(filepath.Base(dir), "_pos")
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run([]string{"-run", name, dir}, &stdout, &stderr); got != 1 {
+				t.Fatalf("run on %s = %d, want 1\nstdout:\n%s", dir, got, stdout.String())
+			}
+			if !strings.Contains(stdout.String(), name+":") {
+				t.Fatalf("diagnostics missing analyzer name %q:\n%s", name, stdout.String())
+			}
+		})
+	}
+}
+
+func TestListOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run(-list) = %d, want 0", got)
+	}
+	for _, name := range []string{"detclock", "detrand", "floatcmp", "errdrop", "metricslot", "maporder"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}

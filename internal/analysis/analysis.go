@@ -1,0 +1,264 @@
+// Package analysis is a stdlib-only static-analysis framework plus the
+// project-specific analyzers behind cmd/draftsvet. The repository's
+// guarantees are statistical: QBETS quantile bounds and the market
+// simulator are only trustworthy if replays are bit-for-bit reproducible,
+// so the analyzers enforce the determinism, numeric-safety and concurrency
+// conventions the code base relies on (injected clocks, seeded RNGs,
+// tick-grid price comparison, checked persistence errors, atomic metric
+// slots, ordered map output).
+//
+// The framework is deliberately small — go/parser + go/types, no
+// golang.org/x/tools — so it builds offline with the module's zero
+// dependencies. It mirrors the x/tools analysis shape (Analyzer, Pass,
+// Diagnostic) closely enough that porting to the real driver later is
+// mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and ignore comments.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Allow lists module-relative package paths exempt from the check.
+	// A trailing "/..." matches the package and everything under it.
+	Allow []string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding, carrying a resolved file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// PkgPath is the package's import path; RelPath is the same path
+	// relative to the module root ("internal/market", "cmd/draftsd").
+	PkgPath string
+	RelPath string
+	// ModulePath identifies intra-repo callees for errdrop.
+	ModulePath string
+	Pkg        *types.Package
+	Info       *types.Info
+
+	ignores ignoreIndex
+	sink    *[]Diagnostic
+}
+
+// Reportf records a finding unless an ignore comment suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.suppressed(position, p.Analyzer.Name) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier through both Uses and Defs.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// CalleeFunc resolves the *types.Func a call invokes (package function or
+// method, possibly through an interface), or nil for indirect calls
+// through plain function values and conversions.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := p.ObjectOf(fun).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.ObjectOf(fun.Sel).(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// allowed reports whether the analyzer's allowlist covers relPath.
+func (a *Analyzer) allowed(relPath string) bool {
+	for _, pat := range a.Allow {
+		if pat == relPath {
+			return true
+		}
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if relPath == prefix || strings.HasPrefix(relPath, prefix+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoreIndex maps file -> lines carrying a //draftsvet:ignore directive.
+// A directive suppresses the named analyzers (or all, with "*") on its own
+// line and, when it is the only thing on its line, on the following line:
+//
+//	//draftsvet:ignore floatcmp prices are tick-quantized here
+//	if a == b { ... }
+type ignoreIndex map[string]map[int][]string
+
+var ignoreRe = regexp.MustCompile(`^//draftsvet:ignore\s+([\w*,]+)`)
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names := strings.Split(m[1], ",")
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				if onOwnLine(fset, f, pos.Line) {
+					byLine[pos.Line+1] = append(byLine[pos.Line+1], names...)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// onOwnLine reports whether no code token of f starts on the given line.
+// Directives on their own line apply to the next line as well; trailing
+// directives apply to their own line only.
+func onOwnLine(fset *token.FileSet, f *ast.File, line int) bool {
+	onLine := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || onLine {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		case *ast.File:
+			return true
+		}
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if start == line || end == line {
+			onLine = true
+			return false
+		}
+		return start <= line && line <= end
+	})
+	return !onLine
+}
+
+func (idx ignoreIndex) suppressed(pos token.Position, analyzer string) bool {
+	byLine := idx[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, name := range byLine[pos.Line] {
+		if name == analyzer || name == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetClock,
+		DetRand,
+		FloatCmp,
+		ErrDrop,
+		MetricSlot,
+		MapOrder,
+	}
+}
+
+// Select filters the suite down to the comma-separated names in spec
+// (empty spec selects everything). Unknown names are an error.
+func Select(spec string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if spec == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Analyze runs the analyzers over one loaded package and returns its
+// findings sorted by position.
+func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		if a.allowed(pkg.RelPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			PkgPath:    pkg.Path,
+			RelPath:    pkg.RelPath,
+			ModulePath: pkg.ModulePath,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			ignores:    ignores,
+			sink:       &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

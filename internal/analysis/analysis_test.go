@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation comments in fixtures:
+//
+//	expr // want detclock "wall-clock read"
+var wantRe = regexp.MustCompile(`//\s*want\s+(\w+)\s+"([^"]+)"`)
+
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+}
+
+// loadExpectations scans every fixture file in dir for want comments.
+func loadExpectations(t *testing.T, dir string) []expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exps []expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, m[2], err)
+				}
+				exps = append(exps, expectation{file: path, line: line, analyzer: m[1], re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return exps
+}
+
+// TestFixtures runs each analyzer over its positive and negative golden
+// packages and requires findings to match the want comments exactly —
+// same file, same line, same analyzer, message matching the pattern — with
+// nothing extra and nothing missing.
+func TestFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no fixture packages under testdata/src")
+	}
+	seen := make(map[string]bool)
+	for _, dir := range fixtures {
+		name, kind, ok := strings.Cut(filepath.Base(dir), "_")
+		if !ok || (kind != "pos" && kind != "neg") {
+			t.Fatalf("fixture dir %q must be named <analyzer>_pos or <analyzer>_neg", dir)
+		}
+		seen[name] = true
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			analyzers, err := Select(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := loader.Load(dir, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Analyze(pkg, analyzers)
+			exps := loadExpectations(t, dir)
+			if kind == "pos" && len(exps) == 0 {
+				t.Fatal("positive fixture has no want comments")
+			}
+			if kind == "neg" && len(exps) > 0 {
+				t.Fatal("negative fixture must not carry want comments")
+			}
+			matchDiagnostics(t, diags, exps)
+		})
+	}
+	for _, a := range Analyzers() {
+		if !seen[a.Name] {
+			t.Errorf("analyzer %s has no golden fixtures", a.Name)
+		}
+	}
+}
+
+func matchDiagnostics(t *testing.T, diags []Diagnostic, exps []expectation) {
+	t.Helper()
+	used := make([]bool, len(exps))
+outer:
+	for _, d := range diags {
+		for i, e := range exps {
+			if used[i] || d.Analyzer != e.analyzer || d.Pos.Line != e.line {
+				continue
+			}
+			if filepath.Base(d.Pos.Filename) != filepath.Base(e.file) {
+				continue
+			}
+			if !e.re.MatchString(d.Message) {
+				continue
+			}
+			used[i] = true
+			continue outer
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for i, e := range exps {
+		if !used[i] {
+			t.Errorf("missing diagnostic: %s:%d (%s matching %q)", e.file, e.line, e.analyzer, e.re)
+		}
+	}
+}
+
+// TestExactPositions pins down full file:line:column positions for one
+// fixture, so a regression in position plumbing cannot hide behind
+// line-level matching.
+func TestExactPositions(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join("testdata", "src", "detclock_pos"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Analyze(pkg, []*Analyzer{DetClock})
+	want := []string{
+		"fixture.go:10:9",
+		"fixture.go:14:9",
+		"fixture.go:18:9",
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), len(want), diags)
+	}
+	for i, d := range diags {
+		got := fmt.Sprintf("%s:%d:%d", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column)
+		if got != want[i] {
+			t.Errorf("diagnostic %d at %s, want %s", i, got, want[i])
+		}
+	}
+}
+
+// TestDiagnosticsSorted ensures Analyze reports in position order so CI
+// output is stable run to run.
+func TestDiagnosticsSorted(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join("testdata", "src", "floatcmp_pos"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Analyze(pkg, Analyzers())
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		return diags[i].Pos.Line < diags[j].Pos.Line
+	}) {
+		t.Errorf("diagnostics not sorted by line: %v", diags)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := Select("detclock, floatcmp")
+	if err != nil || len(two) != 2 || two[0].Name != "detclock" || two[1].Name != "floatcmp" {
+		t.Fatalf("Select subset = %v, err %v", two, err)
+	}
+	if _, err := Select("nonesuch"); err == nil {
+		t.Fatal("Select accepted an unknown analyzer")
+	}
+}
+
+func TestAllowlist(t *testing.T) {
+	a := &Analyzer{Allow: []string{"internal/service", "cmd/..."}}
+	cases := []struct {
+		rel  string
+		want bool
+	}{
+		{"internal/service", true},
+		{"internal/service2", false},
+		{"internal/market", false},
+		{"cmd", true},
+		{"cmd/draftsd", true},
+		{"cmdx", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := a.allowed(c.rel); got != c.want {
+			t.Errorf("allowed(%q) = %v, want %v", c.rel, got, c.want)
+		}
+	}
+}
+
+// TestIgnoreDirective checks both placements: trailing on the flagged
+// line, and alone on the line above.
+func TestIgnoreDirective(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join("testdata", "src", "floatcmp_neg"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Analyze(pkg, []*Analyzer{FloatCmp}); len(diags) != 0 {
+		t.Errorf("ignore directives not honored: %v", diags)
+	}
+}
+
+// TestTreeIsClean is the repository's own gate: the analyzers must report
+// nothing on the tree itself, matching the CI draftsvet step.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.PackageDirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("module discovery found only %d package dirs", len(dirs))
+	}
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir, "")
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		for _, d := range Analyze(pkg, Analyzers()) {
+			t.Errorf("%s", d)
+		}
+	}
+}

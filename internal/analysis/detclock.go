@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetClock forbids wall-clock reads in simulation and library packages.
+//
+// Every simulated timeline in this repository — market repricing, QBETS
+// ingestion, backtests, workload replays — advances an injected clock
+// (market.Market.clock, history.Series time arithmetic). A stray
+// time.Now() or time.Since() couples results to the machine's wall clock
+// and silently breaks replay determinism. Only the serving edge may read
+// real time: the service (refresh timestamps, staleness), telemetry
+// (scrape timestamps) and the binaries under cmd/ and examples/.
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc: "forbid time.Now/time.Since in deterministic packages; " +
+		"inject clocks instead",
+	Allow: []string{
+		"internal/service",
+		"internal/telemetry",
+		"internal/analysis", // the analyzers themselves never run in a simulation
+		"cmd/...",
+		"examples/...",
+	},
+	Run: runDetClock,
+}
+
+func runDetClock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || !isPkgFunc(fn, "time") {
+				return true
+			}
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				pass.Reportf(call.Pos(),
+					"wall-clock read time.%s in a deterministic package; inject a clock (see market.Market.clock)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isPkgFunc reports whether fn is a package-level function of pkgPath.
+func isPkgFunc(fn *types.Func, pkgPath string) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

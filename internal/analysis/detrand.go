@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand forbids the global math/rand source outside internal/stats.
+//
+// Experiments are reproduced from explicit seeds (stats.NewRNG,
+// stats.ForkSeed); the global math/rand functions draw from a shared,
+// auto-seeded source, so any call makes a run unrepeatable and couples
+// concurrent simulations through a mutex. Constructing explicit sources
+// (rand.New, rand.NewSource, rand.NewPCG, ...) stays legal everywhere —
+// only the package-level variate functions are flagged.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand functions outside internal/stats; " +
+		"use stats.NewRNG with an explicit seed",
+	Allow: []string{
+		"internal/stats",
+	},
+	Run: runDetRand,
+}
+
+// randConstructors create explicit sources or derived generators and do
+// not touch the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runDetRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok {
+				return true
+			}
+			path := ""
+			if fn.Pkg() != nil {
+				path = fn.Pkg().Path()
+			}
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if !isPkgFunc(fn, path) || randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global math/rand source via rand.%s is unseeded and unreproducible; use stats.NewRNG(seed)",
+				fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop forbids silently discarding errors returned by intra-repo calls.
+//
+// The persistence paths (qbets.Predictor.Save, history codecs, store
+// flushes) report corruption only through their error returns; dropping
+// one turns a truncated state file into a silent wrong answer after
+// restart. A bare call statement (or defer/go) that ignores a final error
+// result from a function defined in this module is flagged. Explicitly
+// assigning the error to the blank identifier (`_ = f()`) stays legal: it
+// is visible in review and greppable, which is the convention this
+// repository uses for genuinely ignorable errors.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "forbid silently dropped error returns from intra-repo calls; " +
+		"handle the error or discard it explicitly with _ =",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := "call"
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = stmt.Call
+				kind = "deferred call"
+			case *ast.GoStmt:
+				call = stmt.Call
+				kind = "go call"
+			}
+			if call == nil {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if !strings.HasPrefix(fn.Pkg().Path(), pass.ModulePath) {
+				return true // stdlib and (hypothetical) third-party callees are vet's problem
+			}
+			if !returnsError(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s drops the error returned by %s.%s; handle it or discard explicitly with _ =",
+				kind, fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+}
+
+// returnsError reports whether fn's final result is the builtin error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

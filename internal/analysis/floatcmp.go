@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp forbids == and != between floating-point expressions.
+//
+// Prices, probabilities and quantiles all travel as float64; after any
+// arithmetic, exact equality is a latent bug (0.1+0.2 != 0.3). The
+// repository's prices live on an exact integer grid — compare them with
+// spot.Ticks / spot.SamePrice — and unordered checks belong in math.Abs
+// epsilon form. Two comparisons stay legal because they are exact by IEEE
+// construction: comparison against literal zero (the unset-config
+// sentinel) and the x != x NaN test.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= on float expressions; use spot.Ticks/spot.SamePrice " +
+		"for prices or an explicit epsilon",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(cmp.X)) && !isFloat(pass.TypeOf(cmp.Y)) {
+				return true
+			}
+			if isZeroConst(pass, cmp.X) || isZeroConst(pass, cmp.Y) {
+				return true // exact sentinel check, e.g. cfg.Probability == 0
+			}
+			if isConstExpr(pass, cmp.X) && isConstExpr(pass, cmp.Y) {
+				return true // fully constant comparison, exact at compile time
+			}
+			if cmp.Op == token.NEQ && sameIdentChain(cmp.X, cmp.Y) {
+				return true // x != x is the NaN idiom
+			}
+			pass.Reportf(cmp.Pos(),
+				"float %s comparison; compare prices on the tick grid (spot.SamePrice/spot.Ticks) or use an epsilon",
+				cmp.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Float64Val(constant.ToFloat(tv.Value))
+	return exact && v == 0
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// sameIdentChain reports whether a and b are the identical dotted
+// identifier chain (x, x.f, x.f.g) — the shape of the NaN self-compare.
+func sameIdentChain(a, b ast.Expr) bool {
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameIdentChain(av.X, bv.X)
+	}
+	return false
+}

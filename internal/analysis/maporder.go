@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags map iteration that feeds order-sensitive output in
+// library code.
+//
+// Go randomizes map iteration order per run. Ranging over a map is fine
+// when the body only fills another map or reduces commutatively, but a
+// body that appends to a slice or writes to an output stream bakes the
+// random order into results — exactly the nondeterminism the simulator
+// and service responses must not exhibit. The canonical fix (collect
+// keys, sort, then iterate) is recognized: an append target that is later
+// passed to a sort call in the same function is not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "map iteration feeding appends or emitted output must sort " +
+		"before use",
+	Allow: []string{
+		"cmd/...",      // one-shot CLIs may print unordered diagnostics
+		"examples/...", // ditto
+	},
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := pass.TypeOf(rng.X); t == nil || !isMap(t) {
+					return true
+				}
+				checkMapRangeBody(pass, fd, rng)
+				return true
+			})
+		}
+	}
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody flags appends to outer slices (unless sorted later in
+// the function) and direct output calls inside the range body.
+func checkMapRangeBody(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(stmt.Lhs) {
+					continue
+				}
+				target, ok := stmt.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(target)
+				if obj == nil || declaredWithin(obj, rng) {
+					continue
+				}
+				if sortedLater(pass, fn, obj) {
+					continue
+				}
+				pass.Reportf(stmt.Pos(),
+					"append to %s inside map iteration bakes in random order; sort %s afterwards or iterate sorted keys",
+					target.Name, target.Name)
+			}
+		case *ast.CallExpr:
+			if name, ok := outputCall(pass, stmt); ok {
+				pass.Reportf(stmt.Pos(),
+					"%s inside map iteration emits output in random order; collect and sort first", name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// sortedLater reports whether the function passes obj to a sorting call —
+// the collect-then-sort idiom. Anything whose callee name mentions "sort"
+// qualifies, which covers sort.*, slices.Sort* and local helpers like
+// obfuscate's sortZones.
+func sortedLater(pass *Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := pass.CalleeFunc(call)
+		if callee == nil || !isSortCall(callee) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isSortCall reports whether fn plausibly sorts an argument: anything in
+// the sort or slices packages, or a helper whose own name mentions "sort"
+// (obfuscate.sortZones and friends).
+func isSortCall(fn *types.Func) bool {
+	if fn.Pkg() != nil {
+		if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+			return true
+		}
+	}
+	return strings.Contains(strings.ToLower(fn.Name()), "sort")
+}
+
+// outputCall recognizes calls that emit bytes: fmt printers targeting
+// streams and Write/WriteString/Print methods.
+func outputCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return "fmt." + fn.Name(), true
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return fn.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Run loads the requested packages and applies the analyzers, writing one
+// file:line:col diagnostic per finding to w. Patterns are "./..." (every
+// package in the enclosing module) or individual package directories.
+// It returns the number of findings; a non-nil error means loading or
+// type-checking failed, which is distinct from "findings exist".
+func Run(patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		return 0, err
+	}
+	var dirs []string
+	for _, pat := range patterns {
+		switch {
+		case pat == "./...":
+			all, err := loader.PackageDirs()
+			if err != nil {
+				return 0, err
+			}
+			dirs = append(dirs, all...)
+		case strings.HasSuffix(pat, "/..."):
+			root := strings.TrimSuffix(pat, "/...")
+			sub, err := subdirsWithGo(loader, root)
+			if err != nil {
+				return 0, err
+			}
+			dirs = append(dirs, sub...)
+		default:
+			dirs = append(dirs, filepath.Clean(pat))
+		}
+	}
+
+	total := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir, "")
+		if err != nil {
+			return total, err
+		}
+		for _, d := range Analyze(pkg, analyzers) {
+			rel := d
+			if r, err := filepath.Rel(loader.ModuleRoot, d.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Fprintln(w, rel)
+			total++
+		}
+	}
+	return total, nil
+}
+
+// subdirsWithGo expands a dir/... pattern below the module root.
+func subdirsWithGo(loader *Loader, root string) ([]string, error) {
+	all, err := loader.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, d := range all {
+		if d == abs || strings.HasPrefix(d, abs+string(filepath.Separator)) {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %s/...", root)
+	}
+	return out, nil
+}

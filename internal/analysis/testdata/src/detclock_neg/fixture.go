@@ -1,0 +1,23 @@
+// Package fixture holds compliant time handling: clocks are injected and
+// advanced explicitly, and non-clock time helpers stay legal.
+package fixture
+
+import "time"
+
+// Sim advances an injected clock, the pattern the simulator packages use.
+type Sim struct {
+	clock time.Time
+}
+
+func (s *Sim) Step(period time.Duration) time.Time {
+	s.clock = s.clock.Add(period)
+	return s.clock
+}
+
+func Span(a, b time.Time) time.Duration {
+	return b.Sub(a) // explicit two-operand subtraction reads no wall clock
+}
+
+func Parse(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s)
+}

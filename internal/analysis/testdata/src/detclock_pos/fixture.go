@@ -1,0 +1,19 @@
+// Package fixture exercises every detclock trigger: wall-clock reads in
+// what the driver treats as a deterministic library package.
+package fixture
+
+import "time"
+
+var epoch = time.Unix(0, 0)
+
+func Stamp() time.Time {
+	return time.Now() // want detclock "wall-clock read time.Now"
+}
+
+func Age() time.Duration {
+	return time.Since(epoch) // want detclock "wall-clock read time.Since"
+}
+
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want detclock "wall-clock read time.Until"
+}

@@ -1,0 +1,18 @@
+// Package fixture holds compliant randomness: explicitly seeded sources
+// constructed through the legal math/rand constructors.
+package fixture
+
+import "math/rand"
+
+// Gen mirrors stats.RNG: an explicit generator from an explicit seed.
+type Gen struct {
+	r *rand.Rand
+}
+
+func New(seed int64) *Gen {
+	return &Gen{r: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Gen) Draw() float64 {
+	return g.r.Float64() // method on an explicit source, not the global one
+}

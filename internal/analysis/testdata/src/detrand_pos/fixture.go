@@ -1,0 +1,19 @@
+// Package fixture exercises detrand: draws from the global, auto-seeded
+// math/rand source in library code.
+package fixture
+
+import "math/rand"
+
+func Jitter() float64 {
+	return rand.Float64() // want detrand "global math/rand source via rand.Float64"
+}
+
+func Pick(n int) int {
+	return rand.Intn(n) // want detrand "global math/rand source via rand.Intn"
+}
+
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want detrand "global math/rand source via rand.Shuffle"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}

@@ -1,0 +1,29 @@
+// Package fixture holds compliant error handling: checked, propagated, or
+// explicitly blanked errors, plus stdlib calls (vet's jurisdiction, not
+// draftsvet's).
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+type Store struct{}
+
+func (s *Store) Close() error { return errors.New("dirty") }
+
+func Persist() error { return nil }
+
+func Sweep(s *Store) error {
+	if err := Persist(); err != nil {
+		return err
+	}
+	_ = Persist() // explicit discard is visible in review and greppable
+	defer func() {
+		if err := s.Close(); err != nil {
+			fmt.Println("close:", err)
+		}
+	}()
+	fmt.Println("swept") // stdlib error return, out of scope
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package fixture exercises errdrop: error returns from intra-module
+// calls silently discarded in statement position.
+package fixture
+
+import "errors"
+
+type Store struct{}
+
+func (s *Store) Close() error { return errors.New("dirty") }
+
+func Persist() error { return nil }
+
+func Sweep(s *Store) {
+	Persist()       // want errdrop "call drops the error returned by fixture.Persist"
+	defer s.Close() // want errdrop "deferred call drops the error returned by fixture.Close"
+	go Persist()    // want errdrop "go call drops the error returned by fixture.Persist"
+}

@@ -1,0 +1,36 @@
+// Package fixture holds the legal float comparisons: zero-sentinel
+// checks, the NaN self-compare idiom, constant folding, ordered
+// comparisons, and a suppressed exact compare with a reason.
+package fixture
+
+import "math"
+
+type Config struct {
+	Probability float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Probability == 0 { // exact zero sentinel for "unset"
+		c.Probability = 0.99
+	}
+	return c
+}
+
+func IsNaN(x float64) bool {
+	return x != x // the IEEE NaN idiom
+}
+
+func ConstCheck() bool {
+	const a = 0.1
+	const b = 0.2
+	return a+b == 0.3 // fully constant: exact rational arithmetic at compile time
+}
+
+func Ordered(price, bid float64) bool {
+	return price < bid || math.Abs(price-bid) < 1e-9
+}
+
+func ExactCopy(stored, probe float64) bool {
+	//draftsvet:ignore floatcmp probe is a verbatim copy of a stored sample
+	return stored == probe
+}

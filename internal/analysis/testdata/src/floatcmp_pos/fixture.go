@@ -1,0 +1,25 @@
+// Package fixture exercises floatcmp: raw equality between computed
+// floating-point values.
+package fixture
+
+type Quote struct {
+	Bid float64
+}
+
+func SameBid(a, b Quote) bool {
+	return a.Bid == b.Bid // want floatcmp "float == comparison"
+}
+
+func Moved(price, prev float64) bool {
+	return price != prev // want floatcmp "float != comparison"
+}
+
+func HitsTarget(price, target float64) bool {
+	return price*1.05 == target // want floatcmp "float == comparison"
+}
+
+type cents float32
+
+func SameCents(a, b cents) bool {
+	return a == b // want floatcmp "float == comparison"
+}

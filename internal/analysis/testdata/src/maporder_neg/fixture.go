@@ -1,0 +1,56 @@
+// Package fixture holds the deterministic map-iteration idioms: collect
+// then sort, map-to-map transforms, and commutative reductions.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Keys collects then sorts — the canonical deterministic idiom.
+func Keys(prices map[string]float64) []string {
+	var keys []string
+	for k := range prices {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Dump iterates the sorted key slice, not the map.
+func Dump(w io.Writer, prices map[string]float64) {
+	for _, k := range Keys(prices) {
+		fmt.Fprintf(w, "%s=%v\n", k, prices[k])
+	}
+}
+
+// Invert fills another map; order cannot leak.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Total reduces commutatively; order cannot leak.
+func Total(prices map[string]float64) float64 {
+	var sum float64
+	for _, v := range prices {
+		sum += v
+	}
+	return sum
+}
+
+// Local appends to a slice declared inside the loop body, which cannot
+// accumulate cross-iteration order.
+func Local(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var pair []int
+		pair = append(pair, vs...)
+		n += len(pair)
+	}
+	return n
+}

@@ -1,0 +1,22 @@
+// Package fixture exercises maporder: map iteration order leaking into
+// slices and emitted output.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+func Keys(prices map[string]float64) []string {
+	var keys []string
+	for k := range prices {
+		keys = append(keys, k) // want maporder "append to keys inside map iteration"
+	}
+	return keys
+}
+
+func Dump(w io.Writer, prices map[string]float64) {
+	for k, v := range prices {
+		fmt.Fprintf(w, "%s=%v\n", k, v) // want maporder "fmt.Fprintf inside map iteration"
+	}
+}

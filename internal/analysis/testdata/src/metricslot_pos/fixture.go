@@ -1,0 +1,23 @@
+// Package fixture exercises metricslot: telemetry slots written outside
+// registration or used around their atomic protocol.
+package fixture
+
+import (
+	"sync/atomic"
+
+	"github.com/drafts-go/drafts/internal/telemetry"
+)
+
+var mEvents atomic.Pointer[telemetry.Counter]
+
+func Reset(r *telemetry.Registry) {
+	mEvents.Store(r.Counter("events_total", "Events.")) // want metricslot "stored outside RegisterMetrics"
+}
+
+func Swap(c *telemetry.Counter) {
+	mEvents.Swap(c) // want metricslot "used via Swap"
+}
+
+func Leak() *atomic.Pointer[telemetry.Counter] {
+	return &mEvents // want metricslot "escapes its atomic protocol"
+}

@@ -54,10 +54,12 @@ func (c Chart) Series(xs, ys []float64, mark rune) string {
 		minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
 		minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
 	}
-	if maxX == minX {
+	// Exact equality is intended: min and max are untransformed copies of
+	// the same input values, so a degenerate range compares exactly.
+	if maxX == minX { //draftsvet:ignore floatcmp degenerate-range sentinel on copied values
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY == minY { //draftsvet:ignore floatcmp degenerate-range sentinel on copied values
 		maxY = minY + 1
 	}
 

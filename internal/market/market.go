@@ -243,7 +243,7 @@ func (m *Market) clear() {
 	kept := m.book[:0]
 	for i, o := range m.book {
 		rejected := i >= cut
-		if !rejected && o.bid == m.price && o.inst != nil {
+		if !rejected && spot.SamePrice(o.bid, m.price) && o.inst != nil {
 			// An accepted instance sitting exactly at the market price may
 			// still be terminated (§2.1).
 			rejected = m.rng.Bernoulli(m.cfg.TieTerminationProb)

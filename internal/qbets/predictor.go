@@ -374,6 +374,7 @@ func (p *Predictor) medianShift() bool {
 		switch {
 		case v > median:
 			above++
+		//draftsvet:ignore floatcmp median is a stored sample; ties compare exactly by construction
 		case v == median:
 			ties++
 		}

@@ -89,6 +89,7 @@ func (t *Treap) insert(n *treapNode, v float64) *treapNode {
 		return &treapNode{val: v, prio: t.nextPrio(), count: 1, size: 1}
 	}
 	switch {
+	//draftsvet:ignore floatcmp order-statistic buckets hold verbatim inserted values
 	case v == n.val:
 		n.count++
 	case v < n.val:

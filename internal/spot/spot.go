@@ -152,6 +152,13 @@ func FromTicks(t int) float64 { return float64(t) / 1e4 }
 // RoundToTick snaps a dollar price to the tick grid.
 func RoundToTick(price float64) float64 { return FromTicks(Ticks(price)) }
 
+// SamePrice reports whether two dollar prices land on the same tick.
+// This is the only sanctioned way to compare prices for equality: it is
+// immune to the sub-tick float noise that accumulates through price
+// arithmetic, which a raw == would surface as a phantom inequality (the
+// floatcmp analyzer rejects raw float equality for exactly that reason).
+func SamePrice(a, b float64) bool { return Ticks(a) == Ticks(b) }
+
 // NextTickAbove returns the smallest tick-aligned price strictly greater
 // than p. DrAFTS uses this to place its bid one tick above the predicted
 // price upper bound.

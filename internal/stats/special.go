@@ -100,7 +100,9 @@ func NormalQuantile(p float64) float64 {
 		}
 		return math.NaN()
 	case p >= 1:
-		if p == 1 {
+		// Boundary classification of the caller's untouched argument; the
+		// literal 1.0 is exact, so == distinguishes p==1 from p>1 reliably.
+		if p == 1 { //draftsvet:ignore floatcmp
 			return math.Inf(1)
 		}
 		return math.NaN()

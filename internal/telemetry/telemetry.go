@@ -120,7 +120,9 @@ func normalizeBuckets(buckets []float64) []float64 {
 	sort.Float64s(out)
 	dedup := out[:0]
 	for i, b := range out {
-		if i == 0 || b != out[i-1] {
+		// Deduplicating adjacent equal bucket bounds after sorting compares
+		// verbatim copies, so exact inequality is the right test.
+		if i == 0 || b != out[i-1] { //draftsvet:ignore floatcmp
 			dedup = append(dedup, b)
 		}
 	}
