@@ -24,6 +24,7 @@ import (
 
 func main() {
 	server := flag.String("server", "http://localhost:8732", "service base URL")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 	logger := telemetry.NewLogger(os.Stderr, *logLevel, false)
@@ -31,7 +32,9 @@ func main() {
 	if flag.NArg() < 1 {
 		usage()
 	}
-	cl := &service.Client{BaseURL: *server}
+	// Three attempts total with jittered backoff: a daemon mid-restart (warm
+	// recovery takes moments) shouldn't fail the CLI.
+	cl := &service.Client{BaseURL: *server, Timeout: *timeout, Retries: 2}
 	var err error
 	switch flag.Arg(0) {
 	case "combos":

@@ -13,6 +13,13 @@
 //	GET /v1/advise?zone=Z&type=T&probability=P&duration=2h
 //	GET /debug/pprof/   (only with -pprof)
 //
+// With -data-dir the daemon keeps durable state — a write-ahead log of
+// every price tick plus snapshots of the served tables — and a restart
+// recovers it: the last good bid tables serve immediately while the first
+// fresh refresh runs in the background. Keep -seed stable across restarts
+// of the same -data-dir; the synthetic market is continued
+// deterministically from the recovered history.
+//
 // The daemon drains in-flight requests and stops the refresh loop on
 // SIGINT/SIGTERM.
 package main
@@ -21,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -37,70 +45,112 @@ import (
 	"github.com/drafts-go/drafts/internal/qbets"
 	"github.com/drafts-go/drafts/internal/service"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/store"
 	"github.com/drafts-go/drafts/internal/telemetry"
 )
 
 // shutdownTimeout bounds the drain of in-flight requests after a signal.
 const shutdownTimeout = 10 * time.Second
 
+// options collects the daemon's flag values.
+type options struct {
+	addr           string
+	days           int
+	seed           int64
+	nCombos        int
+	refresh        time.Duration
+	refreshWorkers int
+	dataDir        string // marketgen input histories (read-only)
+	stateDir       string // durable WAL + snapshot state (-data-dir)
+	fsync          string
+	pprofOn        bool
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", ":8732", "listen address")
-		days      = flag.Int("days", 90, "days of synthetic history per combo")
-		seed      = flag.Int64("seed", 42, "history generator seed")
-		nCombos   = flag.Int("combos", 60, "number of combos to serve (0 = all 452; full refreshes take longer)")
-		refresh   = flag.Duration("refresh", 15*time.Minute, "table recomputation period")
-		dataDir   = flag.String("data", "", "load price histories from a marketgen output directory instead of generating")
-		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		logFormat = flag.String("log-format", "text", "log format: text or json")
-	)
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8732", "listen address")
+	flag.IntVar(&opts.days, "days", 90, "days of synthetic history per combo")
+	flag.Int64Var(&opts.seed, "seed", 42, "history generator seed (keep stable across restarts of one -data-dir)")
+	flag.IntVar(&opts.nCombos, "combos", 60, "number of combos to serve (0 = all 452; full refreshes take longer)")
+	flag.DurationVar(&opts.refresh, "refresh", 15*time.Minute, "table recomputation period")
+	flag.IntVar(&opts.refreshWorkers, "refresh-workers", 0, "refresh worker pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&opts.dataDir, "data", "", "load price histories from a marketgen output directory instead of generating")
+	flag.StringVar(&opts.stateDir, "data-dir", "", "durable state directory (WAL + snapshots); empty disables persistence")
+	flag.StringVar(&opts.fsync, "fsync", "interval", "WAL durability policy: always, interval, or none")
+	flag.BoolVar(&opts.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
 	logger := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat == "json")
 	slog.SetDefault(logger)
-	if err := run(logger, *addr, *days, *seed, *nCombos, *refresh, *dataDir, *pprofOn); err != nil {
+	if err := run(logger, opts); err != nil {
 		logger.Error("draftsd failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(logger *slog.Logger, addr string, days int, seed int64, nCombos int, refresh time.Duration, dataDir string, pprofOn bool) error {
+func run(logger *slog.Logger, opts options) error {
 	reg := telemetry.NewRegistry()
 	core.RegisterMetrics(reg)
 	qbets.RegisterMetrics(reg)
 	market.RegisterMetrics(reg)
 	cloudsim.RegisterMetrics(reg)
+	store.RegisterMetrics(reg)
 
-	var store *history.Store
-	if dataDir != "" {
-		st, loaded, err := history.LoadDir(dataDir)
+	var durable *store.Store
+	if opts.stateDir != "" {
+		policy, err := store.ParseFsyncPolicy(opts.fsync)
 		if err != nil {
 			return err
 		}
-		store = st
-		logger.Info("loaded combo histories", "combos", loaded, "dir", dataDir)
-	} else {
-		combos := spot.Combos()
-		if nCombos > 0 && nCombos < len(combos) {
-			combos = combos[:nCombos]
+		durable, err = store.Open(opts.stateDir, store.Options{Fsync: policy})
+		if err != nil {
+			return fmt.Errorf("opening durable state: %w", err)
 		}
-		n := days * 24 * 12
-		start := time.Now().UTC().Add(-time.Duration(n) * spot.UpdatePeriod).Truncate(spot.UpdatePeriod)
-		store = history.NewStore()
-		logger.Info("generating combo histories", "combos", len(combos), "days", days)
-		if err := (pricegen.Generator{Seed: seed}).Populate(store, combos, start, n); err != nil {
-			return err
-		}
+		defer func() {
+			if err := durable.Close(); err != nil {
+				logger.Error("closing durable state", "err", err)
+			}
+		}()
 	}
 
-	srv, err := service.New(service.Config{
-		Source:       store,
-		RefreshEvery: refresh,
-		Logger:       logger,
-		Metrics:      reg,
-	})
+	hist, recovered, err := recoverOrBootstrap(logger, opts, durable)
 	if err != nil {
 		return err
+	}
+
+	cfg := service.Config{
+		Source:         hist,
+		RefreshEvery:   opts.refresh,
+		RefreshWorkers: opts.refreshWorkers,
+		Logger:         logger,
+		Metrics:        reg,
+	}
+	if durable != nil {
+		cfg.Durable = durable
+	}
+	if opts.dataDir == "" {
+		// Synthetic mode: before each refresh, extend every history with the
+		// ticks the market "announced" since the last one we hold,
+		// journaling them through the WAL when persistence is on.
+		cfg.PreRefresh = extendHistories(logger, opts.seed, hist, durable)
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	if recovered {
+		// Warm restart: install the last served tables before Start so the
+		// first requests are answered from pre-crash state.
+		payload, ok, err := durable.LoadSnapshot()
+		if err != nil {
+			logger.Warn("loading snapshot failed; cold start", "err", err)
+		} else if ok {
+			if err := srv.RestoreSnapshot(payload); err != nil {
+				logger.Warn("restoring snapshot failed; cold start", "err", err)
+			}
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -114,7 +164,7 @@ func run(logger *slog.Logger, addr string, days int, seed int64, nCombos int, re
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.Handle("GET /metrics", reg.Handler())
-	if pprofOn {
+	if opts.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -123,7 +173,7 @@ func run(logger *slog.Logger, addr string, days int, seed int64, nCombos int, re
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
-	hs := &http.Server{Addr: addr, Handler: mux}
+	hs := &http.Server{Addr: opts.addr, Handler: mux}
 	done := make(chan error, 1)
 	go func() {
 		// On signal: stop accepting, drain in-flight requests, and let the
@@ -136,7 +186,7 @@ func run(logger *slog.Logger, addr string, days int, seed int64, nCombos int, re
 	}()
 
 	logger.Info("draftsd listening",
-		"addr", addr, "combos", len(store.Combos()), "refresh", refresh)
+		"addr", opts.addr, "combos", len(hist.Combos()), "refresh", opts.refresh)
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
@@ -145,4 +195,118 @@ func run(logger *slog.Logger, addr string, days int, seed int64, nCombos int, re
 	}
 	logger.Info("draftsd stopped")
 	return nil
+}
+
+// recoverOrBootstrap produces the price-history archive: by WAL replay when
+// the durable state holds ticks (recovered=true), otherwise by loading or
+// generating fresh histories and journaling them as the WAL's first epoch.
+func recoverOrBootstrap(logger *slog.Logger, opts options, durable *store.Store) (*history.Store, bool, error) {
+	if durable != nil {
+		began := time.Now()
+		hist, n, err := durable.ReplayHistory()
+		if err != nil {
+			return nil, false, fmt.Errorf("replaying WAL: %w", err)
+		}
+		if n > 0 {
+			store.ObserveRecovery(time.Since(began))
+			logger.Info("recovered price histories from WAL",
+				"records", n, "combos", len(hist.Combos()),
+				"torn_bytes_dropped", durable.TornBytes(),
+				"elapsed", time.Since(began).Round(time.Millisecond))
+			return hist, true, nil
+		}
+	}
+
+	hist, err := bootstrapHistories(logger, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if durable != nil {
+		began := time.Now()
+		combos := hist.Combos()
+		for _, c := range combos {
+			ser, ok := hist.Full(c)
+			if !ok {
+				continue
+			}
+			if err := durable.AppendSeries(c, ser); err != nil {
+				return nil, false, fmt.Errorf("journaling bootstrap history: %w", err)
+			}
+		}
+		if err := durable.Sync(); err != nil {
+			return nil, false, fmt.Errorf("syncing bootstrap WAL: %w", err)
+		}
+		logger.Info("journaled bootstrap histories",
+			"combos", len(combos), "elapsed", time.Since(began).Round(time.Millisecond))
+	}
+	return hist, false, nil
+}
+
+// bootstrapHistories builds the initial archive from a marketgen directory
+// or the synthetic generator.
+func bootstrapHistories(logger *slog.Logger, opts options) (*history.Store, error) {
+	if opts.dataDir != "" {
+		st, loaded, err := history.LoadDir(opts.dataDir)
+		if err != nil {
+			return nil, err
+		}
+		logger.Info("loaded combo histories", "combos", loaded, "dir", opts.dataDir)
+		return st, nil
+	}
+	combos := spot.Combos()
+	if opts.nCombos > 0 && opts.nCombos < len(combos) {
+		combos = combos[:opts.nCombos]
+	}
+	n := opts.days * 24 * 12
+	start := time.Now().UTC().Add(-time.Duration(n) * spot.UpdatePeriod).Truncate(spot.UpdatePeriod)
+	st := history.NewStore()
+	logger.Info("generating combo histories", "combos", len(combos), "days", opts.days)
+	if err := (pricegen.Generator{Seed: opts.seed}).Populate(st, combos, start, n); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// extendHistories returns the pre-refresh hook for synthetic mode: it
+// advances every combo's history to the present by continuing the
+// generator's deterministic walk, appending each new tick to the WAL when
+// persistence is on.
+func extendHistories(logger *slog.Logger, seed int64, hist *history.Store, durable *store.Store) func() error {
+	gen := pricegen.Generator{Seed: seed}
+	return func() error {
+		now := time.Now().UTC()
+		appended := 0
+		for _, c := range hist.Combos() {
+			cur, ok := hist.Full(c)
+			if !ok || cur.Len() == 0 {
+				continue
+			}
+			want := cur.IndexOf(now) + 1
+			if want <= cur.Len() {
+				continue
+			}
+			ext, err := gen.Continue(c, cur.Start, cur.Len(), want-cur.Len())
+			if err != nil {
+				return fmt.Errorf("extending %s: %w", c, err)
+			}
+			for i, price := range ext.Prices {
+				hist.Append(c, cur.Start, price)
+				if durable != nil {
+					if err := durable.AppendTick(c, ext.TimeAt(i), price); err != nil {
+						return fmt.Errorf("journaling tick for %s: %w", c, err)
+					}
+				}
+				appended++
+			}
+		}
+		if durable != nil && appended > 0 {
+			if err := durable.Sync(); err != nil {
+				return fmt.Errorf("syncing tick journal: %w", err)
+			}
+		}
+		if appended > 0 {
+			logger.Debug("extended histories", "new_ticks", appended)
+		}
+		return nil
+	}
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/qbets"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+// The online predictor is the expensive part of a refresh: it carries three
+// months of ingested history plus the QBETS detector state. Save and Load
+// let the service checkpoint that state into snapshots so a restart resumes
+// forecasting where it stopped instead of re-observing the whole window.
+
+// predictorState is the wire form of a Predictor. Only the retained window
+// travels (observations already trimmed by MaxHistory are gone for good),
+// together with the total observation count so the predictor clock (Now)
+// survives the round trip.
+type predictorState struct {
+	Version int             `json:"version"`
+	Params  Params          `json:"params"`
+	Start   time.Time       `json:"start"`
+	StepNS  int64           `json:"step_ns"`
+	Count   int             `json:"count"`
+	Prices  []float64       `json:"prices"`
+	Price   json.RawMessage `json:"price_qbets"`
+}
+
+const predictorPersistVersion = 1
+
+// Save serializes the predictor's full state as JSON.
+func (p *Predictor) Save(w io.Writer) error {
+	var priceBuf bytes.Buffer
+	if err := p.price.Save(&priceBuf); err != nil {
+		return fmt.Errorf("core: saving price bound state: %w", err)
+	}
+	st := predictorState{
+		Version: predictorPersistVersion,
+		Params:  p.params,
+		Start:   p.start,
+		StepNS:  int64(p.step),
+		Count:   p.count,
+		Prices:  append([]float64(nil), p.hist()...),
+		Price:   json.RawMessage(bytes.TrimSpace(priceBuf.Bytes())),
+	}
+	return json.NewEncoder(w).Encode(st)
+}
+
+// LoadPredictor reconstructs a predictor saved with Save. The embedded
+// QBETS state is rebuilt with the same tick-bucketed order-statistic store
+// NewPredictor uses, so the restored forecaster is bit-identical to the
+// saved one.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var st predictorState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding predictor state: %w", err)
+	}
+	if st.Version != predictorPersistVersion {
+		return nil, fmt.Errorf("core: unsupported predictor state version %d", st.Version)
+	}
+	params, err := st.Params.withDefaults()
+	if err != nil {
+		return nil, fmt.Errorf("core: persisted params invalid: %w", err)
+	}
+	if st.StepNS <= 0 {
+		return nil, fmt.Errorf("core: non-positive persisted step %d", st.StepNS)
+	}
+	if st.Count < len(st.Prices) {
+		return nil, fmt.Errorf("core: persisted count %d below window size %d", st.Count, len(st.Prices))
+	}
+	for i, v := range st.Prices {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return nil, fmt.Errorf("core: invalid persisted price %v at index %d", v, i)
+		}
+	}
+	pq, err := qbets.Load(bytes.NewReader(st.Price), func() qbets.OrderStats {
+		return qbets.NewFenwickStore(spot.PriceTick, 4)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring price bound state: %w", err)
+	}
+	return &Predictor{
+		params: params,
+		price:  pq,
+		start:  st.Start,
+		step:   time.Duration(st.StepNS),
+		prices: append([]float64(nil), st.Prices...),
+		count:  st.Count,
+	}, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func persistTestPredictor(t *testing.T, n int) *Predictor {
+	t.Helper()
+	start := time.Date(2016, 10, 1, 0, 0, 0, 0, time.UTC)
+	ser, err := pricegen.Generator{Seed: 7}.Series(
+		spot.Combo{Zone: "us-east-1a", Type: "m3.medium"}, start, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictor(Params{Probability: 0.95, MaxHistory: n}, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ObserveSeries(ser)
+	return p
+}
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	p := persistTestPredictor(t, 2000)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	q, err := LoadPredictor(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadPredictor: %v", err)
+	}
+
+	if !q.Now().Equal(p.Now()) {
+		t.Errorf("Now: %v != %v", q.Now(), p.Now())
+	}
+	if q.Len() != p.Len() {
+		t.Errorf("Len: %d != %d", q.Len(), p.Len())
+	}
+	pb, pok := p.MinBid()
+	qb, qok := q.MinBid()
+	if pok != qok || (pok && !spot.SamePrice(pb, qb)) {
+		t.Errorf("MinBid: %v,%v != %v,%v", pb, pok, qb, qok)
+	}
+	// The restored predictor must produce the exact table the original does.
+	pt, pok := p.Table()
+	qt, qok := q.Table()
+	if pok != qok || len(pt.Points) != len(qt.Points) {
+		t.Fatalf("Table shape: %d,%v != %d,%v", len(pt.Points), pok, len(qt.Points), qok)
+	}
+	if !pt.At.Equal(qt.At) {
+		t.Errorf("Table.At: %v != %v", pt.At, qt.At)
+	}
+	for i := range pt.Points {
+		if !spot.SamePrice(pt.Points[i].Bid, qt.Points[i].Bid) ||
+			pt.Points[i].Duration != qt.Points[i].Duration {
+			t.Errorf("point %d: %+v != %+v", i, pt.Points[i], qt.Points[i])
+		}
+	}
+}
+
+// TestPredictorSaveLoadContinuesIdentically verifies the stronger contract:
+// a restored predictor that keeps observing behaves exactly like one that
+// never stopped.
+func TestPredictorSaveLoadContinuesIdentically(t *testing.T) {
+	start := time.Date(2016, 10, 1, 0, 0, 0, 0, time.UTC)
+	ser, err := pricegen.Generator{Seed: 7}.Series(
+		spot.Combo{Zone: "us-east-1a", Type: "m3.medium"}, start, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Predictor {
+		p, err := NewPredictor(Params{Probability: 0.95, MaxHistory: 2500}, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Continuous predictor sees everything.
+	cont := mk()
+	cont.ObserveSeries(ser)
+	// Checkpointed predictor sees the first 2000, round-trips, then the rest.
+	ck := mk()
+	ck.ObserveSeries(ser.Slice(0, 2000))
+	var buf bytes.Buffer
+	if err := ck.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadPredictor(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ser.Prices[2000:] {
+		restored.Observe(v)
+	}
+
+	if !restored.Now().Equal(cont.Now()) {
+		t.Errorf("Now diverged: %v != %v", restored.Now(), cont.Now())
+	}
+	ct, cok := cont.Table()
+	rt, rok := restored.Table()
+	if cok != rok || len(ct.Points) != len(rt.Points) {
+		t.Fatalf("table shape diverged: %d,%v != %d,%v", len(ct.Points), cok, len(rt.Points), rok)
+	}
+	for i := range ct.Points {
+		if !spot.SamePrice(ct.Points[i].Bid, rt.Points[i].Bid) ||
+			ct.Points[i].Duration != rt.Points[i].Duration {
+			t.Errorf("point %d diverged: %+v != %+v", i, ct.Points[i], rt.Points[i])
+		}
+	}
+}
+
+func TestLoadPredictorRejectsDefects(t *testing.T) {
+	p := persistTestPredictor(t, 500)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	cases := map[string]string{
+		"garbage":     "not json",
+		"bad-version": `{"version":99}`,
+		"empty":       `{}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadPredictor(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("LoadPredictor accepted %s", name)
+		}
+	}
+	// Sanity: the untampered state still loads.
+	if _, err := LoadPredictor(bytes.NewReader([]byte(good))); err != nil {
+		t.Errorf("LoadPredictor rejected valid state: %v", err)
+	}
+}

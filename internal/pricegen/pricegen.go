@@ -370,3 +370,24 @@ func (g Generator) Populate(st *history.Store, combos []spot.Combo, start time.T
 		return nil
 	}
 }
+
+// Continue returns grid steps [have, have+n) of c's deterministic series
+// from start: the ticks a live market would have announced since the last
+// one the caller holds. The generator's price walk is a sequential
+// recurrence, so continuation regenerates the prefix with the same seed and
+// slices off the extension — prices already held are reproduced exactly,
+// which is what lets a restarted daemon extend a WAL-recovered history
+// without forking the market's trajectory.
+func (g Generator) Continue(c spot.Combo, start time.Time, have, n int) (*history.Series, error) {
+	if have < 0 {
+		return nil, fmt.Errorf("pricegen: negative prefix length %d", have)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("pricegen: non-positive extension length %d", n)
+	}
+	full, err := g.Series(c, start, have+n)
+	if err != nil {
+		return nil, err
+	}
+	return full.Slice(have, have+n), nil
+}

@@ -268,3 +268,33 @@ func TestArchetypeString(t *testing.T) {
 		t.Error("unknown archetype should still print")
 	}
 }
+
+func TestContinueExtendsExactly(t *testing.T) {
+	c := spot.Combo{Zone: "us-east-1b", Type: "c4.large"}
+	full := gen(t, c, 2000)
+	ext, err := Generator{Seed: 1}.Continue(c, t0, 1500, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Len() != 500 {
+		t.Fatalf("Continue returned %d steps, want 500", ext.Len())
+	}
+	if !ext.Start.Equal(full.TimeAt(1500)) {
+		t.Fatalf("extension starts at %v, want %v", ext.Start, full.TimeAt(1500))
+	}
+	for i := 0; i < 500; i++ {
+		if ext.Prices[i] != full.Prices[1500+i] {
+			t.Fatalf("extension diverged from the full series at step %d", i)
+		}
+	}
+}
+
+func TestContinueErrors(t *testing.T) {
+	c := spot.Combo{Zone: "us-east-1b", Type: "c4.large"}
+	if _, err := (Generator{Seed: 1}).Continue(c, t0, -1, 10); err == nil {
+		t.Error("negative prefix accepted")
+	}
+	if _, err := (Generator{Seed: 1}).Continue(c, t0, 5, 0); err == nil {
+		t.Error("zero-length extension accepted")
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -21,15 +22,55 @@ type Client struct {
 	// Account, when set, is sent with prediction requests so the service
 	// translates this account's obfuscated zone names (§2.2, §3.3).
 	Account string
-	// HTTPClient defaults to a client with a 30-second timeout.
+	// Timeout bounds each request attempt (default 30 seconds). Ignored
+	// when HTTPClient is set.
+	Timeout time.Duration
+	// Retries is how many extra attempts follow a retryable failure — a
+	// transport error or a 502/503/504 — before giving up. Each retry backs
+	// off exponentially from RetryBackoff with ±50% jitter. Application
+	// errors (4xx, 5xx other than the gateway trio) never retry.
+	Retries int
+	// RetryBackoff is the base delay before the first retry (default
+	// 250ms).
+	RetryBackoff time.Duration
+	// HTTPClient defaults to a client with Timeout.
 	HTTPClient *http.Client
+
+	// sleep is the retry delay; tests stub it to run instantly.
+	sleep func(time.Duration)
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &http.Client{Timeout: timeout}
+}
+
+// statusError is a non-200 response; it keeps the status code so the retry
+// loop can distinguish gateway failures from application errors.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// retryable reports whether err is worth another attempt: transport-level
+// failures (connection refused, timeout — the *url.Error wrapping) and the
+// gateway statuses a restarting or overloaded service returns.
+func retryable(err error) bool {
+	if se, ok := err.(*statusError); ok {
+		return se.code == http.StatusBadGateway ||
+			se.code == http.StatusServiceUnavailable ||
+			se.code == http.StatusGatewayTimeout
+	}
+	_, transport := err.(*url.Error)
+	return transport
 }
 
 func (c *Client) get(path string, query url.Values, out any) error {
@@ -39,7 +80,35 @@ func (c *Client) get(path string, query url.Values, out any) error {
 	}
 	u.Path = path
 	u.RawQuery = query.Encode()
-	resp, err := c.http().Get(u.String())
+	target := u.String()
+
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var rng *rand.Rand
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.getOnce(target, out)
+		if lastErr == nil || attempt >= c.Retries || !retryable(lastErr) {
+			return lastErr
+		}
+		// Exponential backoff with ±50% jitter so a fleet of clients
+		// retrying against a restarting service doesn't stampede it.
+		d := backoff << attempt
+		if rng == nil {
+			rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		}
+		sleep(d/2 + time.Duration(rng.Int63n(int64(d))))
+	}
+}
+
+func (c *Client) getOnce(target string, out any) error {
+	resp, err := c.http().Get(target)
 	if err != nil {
 		return err
 	}
@@ -49,9 +118,11 @@ func (c *Client) get(path string, query url.Values, out any) error {
 			Error string `json:"error"`
 		}
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("service client: %s: %s", resp.Status, e.Error)
+			return &statusError{code: resp.StatusCode,
+				msg: fmt.Sprintf("service client: %s: %s", resp.Status, e.Error)}
 		}
-		return fmt.Errorf("service client: %s", resp.Status)
+		return &statusError{code: resp.StatusCode,
+			msg: fmt.Sprintf("service client: %s", resp.Status)}
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClientRetriesGatewayErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			writeErr(w, http.StatusServiceUnavailable, "restarting")
+			return
+		}
+		writeJSON(w, http.StatusOK, []comboJSON{{Zone: "us-east-1a", InstanceType: "m3.medium"}})
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		BaseURL: ts.URL,
+		Retries: 2,
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	combos, err := c.Combos()
+	if err != nil {
+		t.Fatalf("Combos after retries: %v", err)
+	}
+	if len(combos) != 1 {
+		t.Fatalf("got %d combos, want 1", len(combos))
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", calls.Load())
+	}
+	if len(slept) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(slept))
+	}
+	// Backoff grows and carries ±50% jitter around the doubling base.
+	base := 250 * time.Millisecond
+	for i, d := range slept {
+		lo, hi := (base<<i)/2, (base<<i)*3/2
+		if d < lo || d > hi {
+			t.Errorf("sleep %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	// A server that is immediately closed: every attempt is a connection
+	// error.
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	var slept int
+	c := &Client{
+		BaseURL: url,
+		Retries: 2,
+		sleep:   func(time.Duration) { slept++ },
+	}
+	if _, err := c.Combos(); err == nil {
+		t.Fatal("Combos succeeded against a closed server")
+	}
+	if slept != 2 {
+		t.Fatalf("client retried %d times, want 2", slept)
+	}
+}
+
+func TestClientDoesNotRetryApplicationErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeErr(w, http.StatusNotFound, "no such combo")
+	}))
+	defer ts.Close()
+
+	c := &Client{
+		BaseURL: ts.URL,
+		Retries: 3,
+		sleep:   func(time.Duration) { t.Fatal("slept on a non-retryable error") },
+	}
+	if _, err := c.Combos(); err == nil {
+		t.Fatal("Combos succeeded on a 404")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retries on 404)", calls.Load())
+	}
+}
+
+func TestClientZeroRetriesSingleAttempt(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeErr(w, http.StatusServiceUnavailable, "down")
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	if _, err := c.Combos(); err == nil {
+		t.Fatal("Combos succeeded on 503")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", calls.Load())
+	}
+}
+
+func TestClientTimeoutConfig(t *testing.T) {
+	c := &Client{Timeout: 5 * time.Second}
+	if got := c.http().Timeout; got != 5*time.Second {
+		t.Fatalf("http client timeout %v, want 5s", got)
+	}
+	d := &Client{}
+	if got := d.http().Timeout; got != 30*time.Second {
+		t.Fatalf("default timeout %v, want 30s", got)
+	}
+}

@@ -1,0 +1,249 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+// fetch returns the raw response body for a path on the test server.
+func fetch(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", path, resp.Status, body)
+	}
+	return body
+}
+
+// TestSnapshotRestoreServesIdenticalBytes is the warm-restart acceptance
+// test: a server restored from a snapshot must serve byte-identical
+// prediction responses before any refresh runs.
+func TestSnapshotRestoreServesIdenticalBytes(t *testing.T) {
+	hist := testStore(t)
+	srv, err := New(Config{Source: hist, MaxHistory: 9000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := srv.EncodeSnapshot()
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+
+	// A brand-new server process: same config, no refresh — only the
+	// snapshot.
+	restored, err := New(Config{Source: hist, MaxHistory: 9000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreSnapshot(payload); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+
+	ts1 := httptest.NewServer(srv.Handler())
+	defer ts1.Close()
+	ts2 := httptest.NewServer(restored.Handler())
+	defer ts2.Close()
+	paths := []string{"/v1/combos"}
+	for _, c := range testCombos {
+		for _, prob := range []float64{0.95, 0.99} {
+			paths = append(paths, fmt.Sprintf(
+				"/v1/predictions?zone=%s&type=%s&probability=%v", c.Zone, c.Type, prob))
+		}
+	}
+	for _, path := range paths {
+		before := fetch(t, ts1, path)
+		after := fetch(t, ts2, path)
+		if !bytes.Equal(before, after) {
+			t.Errorf("GET %s diverged after restore:\n before: %s\n after:  %s",
+				path, before, after)
+		}
+	}
+}
+
+// TestSnapshotRestoreReplaysTail verifies that predictors restored from a
+// snapshot catch up on history ticks appended after the snapshot was cut.
+func TestSnapshotRestoreReplaysTail(t *testing.T) {
+	hist := testStore(t)
+	srv, err := New(Config{Source: hist, MaxHistory: 9000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := srv.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ticks arrive while the process is down.
+	const extra = 7
+	for i := 0; i < extra; i++ {
+		for _, c := range testCombos {
+			ser, _ := hist.Full(c)
+			hist.Append(c, t0, ser.Prices[ser.Len()-1])
+		}
+	}
+
+	restored, err := New(Config{Source: hist, MaxHistory: 9000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreSnapshot(payload); err != nil {
+		t.Fatal(err)
+	}
+	wantNow := t0.Add(time.Duration(9000+extra-1) * spot.UpdatePeriod)
+	restored.mu.RLock()
+	defer restored.mu.RUnlock()
+	if len(restored.preds) == 0 {
+		t.Fatal("no predictors restored")
+	}
+	for k, pred := range restored.preds {
+		if !pred.Now().Equal(wantNow) {
+			t.Errorf("%s/p=%v: predictor clock %v, want %v (tail not replayed)",
+				k.combo, k.prob, pred.Now(), wantNow)
+		}
+	}
+}
+
+func TestSnapshotRejectsDefects(t *testing.T) {
+	srv := testServer(t)
+	payload, err := srv.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *Server {
+		s, err := New(Config{Source: testStore(t), MaxHistory: 9000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	for name, in := range map[string][]byte{
+		"garbage":     []byte("not json"),
+		"bad-version": []byte(`{"version":99,"entries":[{}]}`),
+		"empty":       []byte(`{"version":1,"entries":[]}`),
+	} {
+		if err := fresh().RestoreSnapshot(in); err == nil {
+			t.Errorf("RestoreSnapshot accepted %s", name)
+		}
+	}
+	if err := fresh().RestoreSnapshot(payload); err != nil {
+		t.Errorf("RestoreSnapshot rejected a valid snapshot: %v", err)
+	}
+}
+
+func TestEncodeSnapshotEmptyServer(t *testing.T) {
+	srv, err := New(Config{Source: history.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.EncodeSnapshot(); err == nil {
+		t.Fatal("EncodeSnapshot succeeded with no tables")
+	}
+}
+
+// memDurable records Durable calls for assertion.
+type memDurable struct {
+	snapshots [][]byte
+	compacted []time.Time
+}
+
+func (m *memDurable) WriteSnapshot(p []byte) error {
+	m.snapshots = append(m.snapshots, append([]byte(nil), p...))
+	return nil
+}
+
+func (m *memDurable) CompactBefore(oldest time.Time) (int, error) {
+	m.compacted = append(m.compacted, oldest)
+	return 0, nil
+}
+
+func TestRefreshPersistsThroughDurable(t *testing.T) {
+	durable := &memDurable{}
+	srv, err := New(Config{Source: testStore(t), MaxHistory: 9000, Durable: durable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if len(durable.snapshots) != 1 {
+		t.Fatalf("refresh wrote %d snapshots, want 1", len(durable.snapshots))
+	}
+	if len(durable.compacted) != 1 {
+		t.Fatalf("refresh requested %d compactions, want 1", len(durable.compacted))
+	}
+	// The snapshot written must be restorable.
+	restored, err := New(Config{Source: testStore(t), MaxHistory: 9000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreSnapshot(durable.snapshots[0]); err != nil {
+		t.Fatalf("durable snapshot does not restore: %v", err)
+	}
+}
+
+func TestPreRefreshHookRuns(t *testing.T) {
+	calls := 0
+	srv, err := New(Config{
+		Source:     testStore(t),
+		MaxHistory: 9000,
+		PreRefresh: func() error { calls++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("PreRefresh ran %d times, want 1", calls)
+	}
+	// A failing hook must not fail the refresh.
+	srv.cfg.PreRefresh = func() error { calls++; return fmt.Errorf("boom") }
+	if err := srv.Refresh(); err != nil {
+		t.Fatalf("refresh failed on PreRefresh error: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("PreRefresh ran %d times, want 2", calls)
+	}
+}
+
+func TestRefreshWorkersConfig(t *testing.T) {
+	if _, err := New(Config{Source: history.NewStore(), RefreshWorkers: -1}); err == nil {
+		t.Fatal("negative RefreshWorkers accepted")
+	}
+	// A single worker must still complete a full refresh.
+	srv, err := New(Config{Source: testStore(t), MaxHistory: 9000, RefreshWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.RLock()
+	n := len(srv.tables)
+	srv.mu.RUnlock()
+	if n != len(testCombos)*2 {
+		t.Fatalf("single-worker refresh built %d tables, want %d", n, len(testCombos)*2)
+	}
+}

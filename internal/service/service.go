@@ -49,6 +49,20 @@ type Config struct {
 	// MaxHistory caps the history fed to each predictor (default three
 	// months).
 	MaxHistory int
+	// RefreshWorkers bounds the refresh fan-out (default: GOMAXPROCS).
+	// Smaller values trade refresh latency for a quieter machine — useful
+	// when draftsd shares a host.
+	RefreshWorkers int
+	// Durable, when non-nil, receives the encoded serving state after every
+	// successful refresh (for crash recovery) and a retention-compaction
+	// request aligned with the history window. Persistence failures are
+	// logged, never fatal: serving fresh tables beats durability.
+	Durable Durable
+	// PreRefresh, when non-nil, runs at the top of every refresh cycle —
+	// the daemon's hook for extending price histories with newly announced
+	// ticks before tables recompute. Its error is logged and the refresh
+	// proceeds on the histories as they stand.
+	PreRefresh func() error
 	// AccountMappings translates per-account obfuscated zone names to the
 	// service's canonical ones. The provider remaps zone names per account
 	// (§2.2), so a client's "us-east-1b" may be the service's
@@ -110,6 +124,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxHistory == 0 {
 		cfg.MaxHistory = core.DefaultMaxHistory
 	}
+	if cfg.RefreshWorkers < 0 {
+		return nil, fmt.Errorf("service: negative refresh workers")
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = telemetry.NopLogger()
@@ -133,6 +150,11 @@ func New(cfg Config) (*Server, error) {
 // one case where the previous table set should stay in place.
 func (s *Server) Refresh() error {
 	began := time.Now()
+	if s.cfg.PreRefresh != nil {
+		if err := s.cfg.PreRefresh(); err != nil {
+			s.logger.Warn("refresh: pre-refresh hook failed; using histories as they stand", "err", err)
+		}
+	}
 	combos := s.cfg.Source.Combos()
 	fresh := make(map[tableKey]core.BidTable, len(combos)*len(s.cfg.Probabilities))
 	freshPreds := make(map[tableKey]*core.Predictor, len(combos)*len(s.cfg.Probabilities))
@@ -144,8 +166,12 @@ func (s *Server) Refresh() error {
 		errCount int
 		skipped  int
 	)
+	workers := s.cfg.RefreshWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	work := make(chan spot.Combo)
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -227,13 +253,52 @@ func (s *Server) Refresh() error {
 	s.logger.Info("refresh complete",
 		"tables", len(fresh), "skipped", skipped, "combo_errors", errCount,
 		"elapsed", elapsed.Round(time.Millisecond))
+	s.persist(now)
 	return nil
 }
 
+// persist checkpoints the freshly installed serving state and trims WAL
+// segments that have aged out of the retention window. Both are
+// best-effort: a persistence failure costs recovery freshness, not serving.
+func (s *Server) persist(now time.Time) {
+	if s.cfg.Durable == nil {
+		return
+	}
+	payload, err := s.EncodeSnapshot()
+	if err != nil {
+		s.logger.Error("refresh: encoding snapshot failed", "err", err)
+		return
+	}
+	if err := s.cfg.Durable.WriteSnapshot(payload); err != nil {
+		s.logger.Error("refresh: writing snapshot failed", "err", err)
+		return
+	}
+	removed, err := s.cfg.Durable.CompactBefore(now.Add(-history.Retention))
+	if err != nil {
+		s.logger.Warn("refresh: WAL compaction failed", "err", err)
+		return
+	}
+	if removed > 0 {
+		s.logger.Info("compacted WAL", "segments_removed", removed)
+	}
+}
+
 // Start runs the 15-minute refresh loop until the context is cancelled.
-// The first refresh happens immediately; its error is returned.
+// On a cold start the first refresh happens synchronously and its error is
+// returned; after RestoreSnapshot has installed tables (a warm restart),
+// the restored state serves immediately and the first refresh runs in the
+// background instead of blocking startup.
 func (s *Server) Start(ctx context.Context) error {
-	if err := s.Refresh(); err != nil {
+	s.mu.RLock()
+	warm := !s.asOf.IsZero()
+	s.mu.RUnlock()
+	if warm {
+		go func() {
+			if err := s.Refresh(); err != nil {
+				s.logger.Error("post-recovery refresh failed; serving restored tables", "err", err)
+			}
+		}()
+	} else if err := s.Refresh(); err != nil {
 		return err
 	}
 	ticker := time.NewTicker(s.cfg.RefreshEvery)

@@ -1,0 +1,40 @@
+package store
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/telemetry"
+)
+
+// Package-level instrument slots, nil until RegisterMetrics wires a
+// registry (the repository's telemetry-off-costs-one-branch convention).
+var (
+	mWALAppends       atomic.Pointer[telemetry.Counter]
+	mWALFsyncs        atomic.Pointer[telemetry.Counter]
+	mWALReplayRecords atomic.Pointer[telemetry.Counter]
+	mSnapshotBytes    atomic.Pointer[telemetry.Gauge]
+	mRecoverySeconds  atomic.Pointer[telemetry.Gauge]
+)
+
+// RegisterMetrics wires the durable-state instruments into r. Call once at
+// startup; calling again with the same registry is idempotent.
+func RegisterMetrics(r *telemetry.Registry) {
+	mWALAppends.Store(r.Counter("drafts_wal_appends_total",
+		"Price-tick records appended to the write-ahead log."))
+	mWALFsyncs.Store(r.Counter("drafts_wal_fsyncs_total",
+		"WAL fsync calls issued (policy-driven and explicit)."))
+	mWALReplayRecords.Store(r.Counter("drafts_wal_replay_records_total",
+		"WAL records read back during recovery replays."))
+	mSnapshotBytes.Store(r.Gauge("drafts_snapshot_bytes",
+		"Payload size of the most recently published snapshot."))
+	mRecoverySeconds.Store(r.Gauge("drafts_recovery_seconds",
+		"Duration of the last crash-recovery (WAL replay + snapshot restore)."))
+}
+
+// ObserveRecovery records how long a recovery took. The store itself never
+// reads the wall clock (determinism invariant), so the serving edge that
+// timed the recovery reports it here.
+func ObserveRecovery(d time.Duration) {
+	mRecoverySeconds.Load().Set(d.Seconds())
+}

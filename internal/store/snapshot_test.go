@@ -1,0 +1,155 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`{"tables":"state"}`)
+	if err := writeSnapshotFile(dir, 7, payload); err != nil {
+		t.Fatalf("writeSnapshotFile: %v", err)
+	}
+	got, err := readSnapshotFile(filepath.Join(dir, snapName(7)))
+	if err != nil {
+		t.Fatalf("readSnapshotFile: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: got %q, want %q", got, payload)
+	}
+}
+
+func TestSnapshotEmptyPayload(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSnapshotFile(dir, 1, nil); err != nil {
+		t.Fatalf("writeSnapshotFile(nil): %v", err)
+	}
+	got, err := readSnapshotFile(filepath.Join(dir, snapName(1)))
+	if err != nil {
+		t.Fatalf("readSnapshotFile: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty snapshot returned %d bytes", len(got))
+	}
+}
+
+func TestLoadNewestSnapshotFallsBackPastCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSnapshotFile(dir, 1, []byte("old-good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshotFile(dir, 2, []byte("new-good")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest snapshot's payload in place.
+	path := filepath.Join(dir, snapName(2))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	payload, seq, ok, err := loadNewestSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("loadNewestSnapshot: ok=%v err=%v", ok, err)
+	}
+	if seq != 1 || string(payload) != "old-good" {
+		t.Fatalf("got seq %d payload %q, want fallback to seq 1", seq, payload)
+	}
+}
+
+func TestLoadNewestSnapshotEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	_, _, ok, err := loadNewestSnapshot(dir)
+	if err != nil {
+		t.Fatalf("loadNewestSnapshot: %v", err)
+	}
+	if ok {
+		t.Fatal("empty directory reported a snapshot")
+	}
+}
+
+func TestSnapshotRejectsDefects(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"short":       []byte("DS"),
+		"wrong-magic": append([]byte("XSNAP\x00\x00\x01"), make([]byte, 16)...),
+	}
+	// A length that disagrees with the file size.
+	good := func() []byte {
+		if err := writeSnapshotFile(dir, 99, []byte("abc")); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, snapName(99)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}()
+	cases["truncated"] = good[:len(good)-1]
+	for name, data := range cases {
+		path := filepath.Join(dir, name+".snap.test")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readSnapshotFile(path); err == nil {
+			t.Errorf("readSnapshotFile accepted defective snapshot %q", name)
+		}
+	}
+}
+
+func TestPruneSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := writeSnapshotFile(dir, seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pruneSnapshots(dir, 2); err != nil {
+		t.Fatalf("pruneSnapshots: %v", err)
+	}
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 4 || seqs[1] != 5 {
+		t.Fatalf("after prune: %v, want [4 5]", seqs)
+	}
+}
+
+func TestRemoveStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSnapshotFile(dir, 1, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "snap-123.tmp")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := removeStaleTemps(dir); err != nil {
+		t.Fatalf("removeStaleTemps: %v", err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp survived the sweep")
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName(1))); err != nil {
+		t.Fatalf("sweep damaged a published snapshot: %v", err)
+	}
+}
+
+func TestParseSnapName(t *testing.T) {
+	if seq, ok := parseSnapName(snapName(42)); !ok || seq != 42 {
+		t.Fatalf("parseSnapName round-trip failed: %d, %v", seq, ok)
+	}
+	for _, bad := range []string{"42.snap", "snap-1.tmp", "0000000000000042.log", ""} {
+		if _, ok := parseSnapName(bad); ok {
+			t.Errorf("parseSnapName accepted %q", bad)
+		}
+	}
+}

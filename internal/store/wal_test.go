@@ -1,0 +1,435 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+var walT0 = time.Date(2016, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func walCombo(i int) spot.Combo {
+	zones := []spot.Zone{"us-east-1a", "us-east-1b", "eu-west-1c"}
+	types := []spot.InstanceType{"m3.medium", "c3.large", "r3.xlarge"}
+	return spot.Combo{Zone: zones[i%len(zones)], Type: types[(i/len(zones))%len(types)]}
+}
+
+func walRecord(i int) Record {
+	return Record{
+		Combo: walCombo(i),
+		At:    walT0.Add(time.Duration(i) * spot.UpdatePeriod),
+		Price: 0.01 + float64(i)*spot.PriceTick,
+	}
+}
+
+func mustOpenWAL(t *testing.T, dir string, opt walOptions) *WAL {
+	t.Helper()
+	if opt.segmentBytes == 0 {
+		opt.segmentBytes = 1 << 20
+	}
+	w, err := openWAL(dir, opt)
+	if err != nil {
+		t.Fatalf("openWAL(%s): %v", dir, err)
+	}
+	return w
+}
+
+func replayAll(t *testing.T, w *WAL) []Record {
+	t.Helper()
+	var out []Record
+	n, err := w.Replay(func(r Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(out) {
+		t.Fatalf("Replay reported %d records, delivered %d", n, len(out))
+	}
+	return out
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpenWAL(t, dir, walOptions{policy: FsyncNone})
+	want := make([]Record, 20)
+	for i := range want {
+		want[i] = walRecord(i)
+		if err := w.Append(want[i]); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2 := mustOpenWAL(t, dir, walOptions{policy: FsyncNone})
+	defer func() { _ = w2.Close() }()
+	if w2.TornBytes() != 0 {
+		t.Fatalf("clean reopen reported %d torn bytes", w2.TornBytes())
+	}
+	got := replayAll(t, w2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Combo != want[i].Combo || !got[i].At.Equal(want[i].At) ||
+			!spot.SamePrice(got[i].Price, want[i].Price) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWALKillPoints simulates a crash at every byte offset within the final
+// record of the active segment: each truncation must recover to exactly the
+// records before it, accept new appends, and survive a further reopen.
+func TestWALKillPoints(t *testing.T) {
+	// Build the reference log: 5 records, clean close.
+	const full = 5
+	master := t.TempDir()
+	w := mustOpenWAL(t, master, walOptions{policy: FsyncNone})
+	var offsets []int64 // segment size after each append
+	for i := 0; i < full; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+		fi, err := os.Stat(filepath.Join(master, segName(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, fi.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segment, err := os.ReadFile(filepath.Join(master, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lastStart, lastEnd := offsets[full-2], offsets[full-1]
+	for cut := lastStart + 1; cut < lastEnd; cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), segment[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		w, err := openWAL(dir, walOptions{policy: FsyncNone, segmentBytes: 1 << 20})
+		if err != nil {
+			t.Fatalf("cut %d: openWAL: %v", cut, err)
+		}
+		if torn := w.TornBytes(); torn != cut-lastStart {
+			t.Fatalf("cut %d: TornBytes = %d, want %d", cut, torn, cut-lastStart)
+		}
+		got := replayAll(t, w)
+		if len(got) != full-1 {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), full-1)
+		}
+		// The repaired log must accept appends and keep them across reopen.
+		if err := w.Append(walRecord(full - 1)); err != nil {
+			t.Fatalf("cut %d: post-repair Append: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("cut %d: Close: %v", cut, err)
+		}
+		w2, err := openWAL(dir, walOptions{policy: FsyncNone, segmentBytes: 1 << 20})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if w2.TornBytes() != 0 {
+			t.Fatalf("cut %d: second open reported torn bytes", cut)
+		}
+		if got := replayAll(t, w2); len(got) != full {
+			t.Fatalf("cut %d: after repair+append replay has %d records, want %d",
+				cut, len(got), full)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatalf("cut %d: final Close: %v", cut, err)
+		}
+	}
+}
+
+// TestWALTornHeader covers the degenerate crash that leaves fewer bytes than
+// one frame header.
+func TestWALTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), []byte{0x03, 0x00}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := mustOpenWAL(t, dir, walOptions{policy: FsyncNone})
+	defer func() { _ = w.Close() }()
+	if w.TornBytes() != 2 {
+		t.Fatalf("TornBytes = %d, want 2", w.TornBytes())
+	}
+	if got := replayAll(t, w); len(got) != 0 {
+		t.Fatalf("replay of torn-header log yielded %d records", len(got))
+	}
+}
+
+func TestWALRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation roughly every record.
+	w := mustOpenWAL(t, dir, walOptions{policy: FsyncNone, segmentBytes: 64})
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if len(w.segs) < 3 {
+		t.Fatalf("expected several segments, have %v", w.segs)
+	}
+	if got := replayAll(t, w); len(got) != n {
+		t.Fatalf("replay across segments yielded %d records, want %d", len(got), n)
+	}
+
+	// Everything before record 6's timestamp lives in sealed segments that
+	// should compact away; the active segment must survive regardless.
+	defer func() { _ = w.Close() }()
+	cutoff := walRecord(6).At
+	removed, err := w.CompactBefore(cutoff)
+	if err != nil {
+		t.Fatalf("CompactBefore: %v", err)
+	}
+	if removed == 0 {
+		t.Fatal("CompactBefore removed nothing")
+	}
+	got := replayAll(t, w)
+	if len(got) == 0 {
+		t.Fatal("compaction removed the active segment's records")
+	}
+	// Compaction only deletes segments wholly older than the cutoff, so the
+	// newest pre-compaction record must still be present.
+	last := got[len(got)-1]
+	if want := walRecord(n - 1); last.Combo != want.Combo || !last.At.Equal(want.At) {
+		t.Fatalf("newest record lost by compaction: have %+v, want %+v", last, want)
+	}
+}
+
+func TestWALCompactionKeepsUnknownSegments(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpenWAL(t, dir, walOptions{policy: FsyncNone, segmentBytes: 64})
+	for i := 0; i < 6; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh process has no lastAt knowledge of sealed segments until it
+	// replays; compaction before replay must keep them all.
+	w2 := mustOpenWAL(t, dir, walOptions{policy: FsyncNone, segmentBytes: 64})
+	defer func() { _ = w2.Close() }()
+	before := len(w2.segs)
+	removed, err := w2.CompactBefore(walT0.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("CompactBefore: %v", err)
+	}
+	if removed != 0 || len(w2.segs) != before {
+		t.Fatalf("compaction before replay removed %d segments", removed)
+	}
+	// After replay the timestamps are known and compaction proceeds.
+	replayAll(t, w2)
+	removed, err = w2.CompactBefore(walT0.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("CompactBefore after replay: %v", err)
+	}
+	if removed == 0 {
+		t.Fatal("compaction after replay removed nothing")
+	}
+}
+
+func TestWALCorruptSealedSegmentFailsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpenWAL(t, dir, walOptions{policy: FsyncNone, segmentBytes: 64})
+	for i := 0; i < 6; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the first (sealed) segment.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeader+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := mustOpenWAL(t, dir, walOptions{policy: FsyncNone, segmentBytes: 64})
+	defer func() { _ = w2.Close() }()
+	_, rerr := w2.Replay(func(Record) error { return nil })
+	if rerr == nil || !strings.Contains(rerr.Error(), "corrupt sealed segment") {
+		t.Fatalf("Replay of corrupt sealed segment: %v, want corruption error", rerr)
+	}
+}
+
+func TestWALReplayCallbackErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpenWAL(t, dir, walOptions{policy: FsyncNone})
+	defer func() { _ = w.Close() }()
+	for i := 0; i < 3; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sentinel := errors.New("stop here")
+	n := 0
+	_, err := w.Replay(func(Record) error {
+		n++
+		if n == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Replay error = %v, want the callback's error", err)
+	}
+}
+
+func TestWALFsyncAlwaysCountsFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpenWAL(t, dir, walOptions{policy: FsyncAlways})
+	defer func() { _ = w.Close() }()
+	for i := 0; i < 3; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Under FsyncAlways nothing should be left buffered between appends.
+	fi, err := os.Stat(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("FsyncAlways left the segment empty on disk")
+	}
+}
+
+func TestWALIntervalFlusherDrainsBuffer(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpenWAL(t, dir, walOptions{policy: FsyncInterval, every: 5 * time.Millisecond})
+	defer func() { _ = w.Close() }()
+	if err := w.Append(walRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		fi, err := os.Stat(filepath.Join(dir, segName(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never drained the buffer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWALRejectsInvalidRecords(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpenWAL(t, dir, walOptions{policy: FsyncNone})
+	defer func() { _ = w.Close() }()
+	bad := []Record{
+		{Combo: spot.Combo{Zone: "", Type: "m3.medium"}, At: walT0, Price: 1},
+		{Combo: walCombo(0), At: walT0, Price: 0},
+		{Combo: walCombo(0), At: walT0, Price: -0.5},
+	}
+	for i, r := range bad {
+		if err := w.Append(r); err == nil {
+			t.Fatalf("Append accepted invalid record %d: %+v", i, r)
+		}
+	}
+	if got := replayAll(t, w); len(got) != 0 {
+		t.Fatalf("invalid appends left %d records in the log", len(got))
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"always", FsyncAlways, true},
+		{"interval", FsyncInterval, true},
+		{"none", FsyncNone, true},
+		{"sometimes", 0, false},
+		{"", 0, false},
+	} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+		if tc.ok && got.String() != tc.in {
+			t.Errorf("FsyncPolicy round-trip: %q -> %q", tc.in, got.String())
+		}
+	}
+}
+
+// TestWALCleanReopenIsByteStable asserts that opening and closing a WAL
+// without appending does not alter the segment files.
+func TestWALCleanReopenIsByteStable(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpenWAL(t, dir, walOptions{policy: FsyncNone, segmentBytes: 128})
+	for i := 0; i < 8; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := readAllSegments(t, dir)
+	w2 := mustOpenWAL(t, dir, walOptions{policy: FsyncNone, segmentBytes: 128})
+	replayAll(t, w2)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := readAllSegments(t, dir)
+	if !bytes.Equal(before, after) {
+		t.Fatal("clean reopen modified segment bytes")
+	}
+}
+
+func readAllSegments(t *testing.T, dir string) []byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseSegName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	// os.ReadDir sorts by name, and segment names sort numerically.
+	var all []byte
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, data...)
+	}
+	return all
+}
