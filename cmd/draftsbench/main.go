@@ -1,0 +1,466 @@
+// Command draftsbench is the serving-path load harness: a zero-dependency
+// closed- and open-loop generator that drives a live draftsd (or an
+// in-process server in -direct mode) and writes a machine-readable
+// BENCH_serving.json report alongside a human summary.
+//
+// Modes (combinable in one invocation; every mode appends to the same
+// report):
+//
+//	-target http://host:8732   drive a live daemon over HTTP
+//	-direct                    in-process A/B: pre-encoded fast path vs the
+//	                           marshal-per-request baseline, plus the
+//	                           serving speedup ratio
+//	-gobench file              ingest `go test -bench` output (use "-" for
+//	                           stdin) into the same report
+//
+// Load shape against a live target:
+//
+//	-conns N      concurrent connections (closed loop: each issues the next
+//	              request as soon as the previous completes)
+//	-rps R        open-loop arrival rate; 0 keeps the closed loop. Latency
+//	              is measured from the scheduled arrival time, so queueing
+//	              delay is not hidden (no coordinated omission).
+//	-batch-frac F fraction of requests sent to the /v1/tables batch
+//	              endpoint, -batch-size combos at a time
+//
+// Examples:
+//
+//	draftsbench -target http://localhost:8732 -duration 30s -conns 32
+//	draftsbench -direct -duration 5s
+//	go test ./internal/service/ -run xxx -bench . | draftsbench -gobench -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/benchio"
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/service"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+type options struct {
+	target      string
+	duration    time.Duration
+	warmup      time.Duration
+	conns       int
+	rps         float64
+	batchFrac   float64
+	batchSize   int
+	probability float64
+	combos      string
+	out         string
+	gobench     string
+
+	direct       bool
+	directCombos int
+	directTicks  int
+	seed         int64
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.target, "target", "", "base URL of a live draftsd to load (e.g. http://localhost:8732)")
+	flag.DurationVar(&opts.duration, "duration", 10*time.Second, "measurement window per scenario")
+	flag.DurationVar(&opts.warmup, "warmup", 2*time.Second, "warmup before measurement (live mode)")
+	flag.IntVar(&opts.conns, "conns", 16, "concurrent connections (live mode)")
+	flag.Float64Var(&opts.rps, "rps", 0, "open-loop arrival rate; 0 = closed loop")
+	flag.Float64Var(&opts.batchFrac, "batch-frac", 0, "fraction of requests using the /v1/tables batch endpoint")
+	flag.IntVar(&opts.batchSize, "batch-size", 8, "combos per batch request")
+	flag.Float64Var(&opts.probability, "probability", 0.99, "probability level to request")
+	flag.StringVar(&opts.combos, "combos", "", "comma-separated zone/type list; default: fetch from /v1/combos")
+	flag.StringVar(&opts.out, "out", "BENCH_serving.json", "report output path")
+	flag.StringVar(&opts.gobench, "gobench", "", "ingest go test -bench output from this file (- for stdin)")
+	flag.BoolVar(&opts.direct, "direct", false, "run the in-process fast-path vs marshal-baseline A/B")
+	flag.IntVar(&opts.directCombos, "direct-combos", 3, "combos in the in-process server (-direct)")
+	flag.IntVar(&opts.directTicks, "direct-ticks", 9000, "history ticks per combo (-direct)")
+	flag.Int64Var(&opts.seed, "seed", 42, "price generator seed (-direct)")
+	flag.Parse()
+
+	if opts.target == "" && !opts.direct && opts.gobench == "" {
+		fmt.Fprintln(os.Stderr, "draftsbench: nothing to do; pass -target, -direct, and/or -gobench (see -h)")
+		os.Exit(2)
+	}
+
+	report := benchio.NewReport(time.Now().UTC())
+
+	if opts.gobench != "" {
+		if err := ingestGoBench(report, opts.gobench); err != nil {
+			fatal(err)
+		}
+	}
+	if opts.direct {
+		if err := runDirect(report, opts); err != nil {
+			fatal(err)
+		}
+	}
+	if opts.target != "" {
+		if err := runLive(report, opts); err != nil {
+			fatal(err)
+		}
+	}
+
+	if err := benchio.Write(opts.out, report); err != nil {
+		fatal(err)
+	}
+	printSummary(report)
+	fmt.Printf("report written to %s\n", opts.out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "draftsbench: %v\n", err)
+	os.Exit(1)
+}
+
+func ingestGoBench(report *benchio.Report, path string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := benchio.ParseGoBench(r)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		report.Add(res)
+	}
+	return nil
+}
+
+// runDirect measures the serving fast path against the marshal baseline on
+// one in-process server, single-threaded so the two handlers see identical
+// conditions, and records the throughput ratio — the headline speedup.
+func runDirect(report *benchio.Report, opts options) error {
+	combos := spot.Combos()
+	if opts.directCombos > 0 && opts.directCombos < len(combos) {
+		combos = combos[:opts.directCombos]
+	}
+	start := time.Now().UTC().Add(-time.Duration(opts.directTicks) * spot.UpdatePeriod).Truncate(spot.UpdatePeriod)
+	st := history.NewStore()
+	if err := (pricegen.Generator{Seed: opts.seed}).Populate(st, combos, start, opts.directTicks); err != nil {
+		return err
+	}
+	srv, err := service.New(service.Config{Source: st, MaxHistory: opts.directTicks})
+	if err != nil {
+		return err
+	}
+	if err := srv.Refresh(); err != nil {
+		return err
+	}
+	target := fmt.Sprintf("/v1/predictions?zone=%s&type=%s&probability=%v",
+		combos[0].Zone, combos[0].Type, opts.probability)
+
+	encoded, err := measureHandler(srv.Handler(), target, opts.duration)
+	if err != nil {
+		return fmt.Errorf("fast path: %w", err)
+	}
+	marshal, err := measureHandler(srv.MarshalHandler(), target, opts.duration)
+	if err != nil {
+		return fmt.Errorf("marshal baseline: %w", err)
+	}
+	speedup := encoded.rps / marshal.rps
+
+	labels := map[string]string{"request": target, "duration": opts.duration.String()}
+	report.Add(benchio.Result{
+		Name: "direct/predictions-encoded", Kind: "direct", Labels: labels,
+		Metrics: map[string]float64{
+			"requests": float64(encoded.n), "ns_per_op": encoded.nsPerOp,
+			"allocs_per_op": encoded.allocsPerOp, "throughput_rps": encoded.rps,
+		},
+	})
+	report.Add(benchio.Result{
+		Name: "direct/predictions-marshal", Kind: "direct", Labels: labels,
+		Metrics: map[string]float64{
+			"requests": float64(marshal.n), "ns_per_op": marshal.nsPerOp,
+			"allocs_per_op": marshal.allocsPerOp, "throughput_rps": marshal.rps,
+		},
+	})
+	report.Add(benchio.Result{
+		Name: "direct/serving-speedup", Kind: "direct", Labels: labels,
+		Metrics: map[string]float64{"speedup_x": speedup},
+	})
+	return nil
+}
+
+type directStats struct {
+	n           int
+	nsPerOp     float64
+	allocsPerOp float64
+	rps         float64
+}
+
+// measureHandler drives one handler in-process with a reused request and
+// recorder (the handler equivalent of a tight benchmark loop) and reports
+// per-op time and heap allocations from runtime.MemStats deltas.
+func measureHandler(h http.Handler, target string, d time.Duration) (directStats, error) {
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	rec := httptest.NewRecorder()
+	for i := 0; i < 200; i++ { // warmup: JIT-free but warms caches and pools
+		rec.Body.Reset()
+		h.ServeHTTP(rec, req)
+	}
+	if rec.Code != http.StatusOK {
+		return directStats{}, fmt.Errorf("GET %s: status %d: %s", target, rec.Code, rec.Body.String())
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	began := time.Now()
+	deadline := began.Add(d)
+	n := 0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 256; i++ {
+			rec.Body.Reset()
+			h.ServeHTTP(rec, req)
+		}
+		n += 256
+	}
+	elapsed := time.Since(began)
+	runtime.ReadMemStats(&after)
+	return directStats{
+		n:           n,
+		nsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+		allocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+		rps:         float64(n) / elapsed.Seconds(),
+	}, nil
+}
+
+// runLive drives a live daemon. Requests draw from the combo mix; a
+// batchFrac share goes to the batch endpoint.
+func runLive(report *benchio.Report, opts options) error {
+	combos, err := resolveCombos(opts)
+	if err != nil {
+		return err
+	}
+	if len(combos) == 0 {
+		return fmt.Errorf("target serves no combos")
+	}
+	singles := make([]string, len(combos))
+	for i, c := range combos {
+		q := url.Values{}
+		q.Set("zone", string(c.Zone))
+		q.Set("type", string(c.Type))
+		q.Set("probability", fmt.Sprint(opts.probability))
+		singles[i] = opts.target + "/v1/predictions?" + q.Encode()
+	}
+	var batches []string
+	for at := 0; at < len(combos); at += opts.batchSize {
+		end := at + opts.batchSize
+		if end > len(combos) {
+			end = len(combos)
+		}
+		parts := make([]string, 0, end-at)
+		for _, c := range combos[at:end] {
+			parts = append(parts, c.String())
+		}
+		q := url.Values{}
+		q.Set("combos", strings.Join(parts, ","))
+		q.Set("probability", fmt.Sprint(opts.probability))
+		batches = append(batches, opts.target+"/v1/tables?"+q.Encode())
+	}
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.conns,
+			MaxIdleConnsPerHost: opts.conns,
+		},
+	}
+
+	if opts.warmup > 0 {
+		runWorkers(client, opts, singles, batches, opts.warmup)
+	}
+	agg := runWorkers(client, opts, singles, batches, opts.duration)
+
+	kind := "closed-loop"
+	if opts.rps > 0 {
+		kind = "open-loop"
+	}
+	sort.Float64s(agg.latenciesMS)
+	metrics := map[string]float64{
+		"requests":       float64(agg.requests),
+		"errors":         float64(agg.errors),
+		"throughput_rps": float64(agg.requests) / agg.elapsed.Seconds(),
+		"bytes_per_sec":  float64(agg.bytes) / agg.elapsed.Seconds(),
+		"p50_latency_ms": benchio.Quantile(agg.latenciesMS, 0.50),
+		"p95_latency_ms": benchio.Quantile(agg.latenciesMS, 0.95),
+		"p99_latency_ms": benchio.Quantile(agg.latenciesMS, 0.99),
+		"max_latency_ms": benchio.Quantile(agg.latenciesMS, 1),
+	}
+	if opts.rps > 0 {
+		metrics["offered_rps"] = opts.rps
+	}
+	report.Add(benchio.Result{
+		Name: kind + "/predictions",
+		Kind: kind,
+		Labels: map[string]string{
+			"target": opts.target, "conns": fmt.Sprint(opts.conns),
+			"duration": opts.duration.String(), "combos": fmt.Sprint(len(combos)),
+			"batch_frac": fmt.Sprint(opts.batchFrac), "batch_size": fmt.Sprint(opts.batchSize),
+		},
+		Metrics: metrics,
+	})
+	return nil
+}
+
+// resolveCombos parses -combos or asks the target's /v1/combos.
+func resolveCombos(opts options) ([]spot.Combo, error) {
+	if opts.combos != "" {
+		var out []spot.Combo
+		for _, part := range strings.Split(opts.combos, ",") {
+			zone, typ, ok := strings.Cut(strings.TrimSpace(part), "/")
+			if !ok {
+				return nil, fmt.Errorf("combo %q must be zone/type", part)
+			}
+			out = append(out, spot.Combo{Zone: spot.Zone(zone), Type: spot.InstanceType(typ)})
+		}
+		return out, nil
+	}
+	resp, err := http.Get(opts.target + "/v1/combos")
+	if err != nil {
+		return nil, fmt.Errorf("fetching combos: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetching combos: %s", resp.Status)
+	}
+	var raw []struct {
+		Zone         string `json:"zone"`
+		InstanceType string `json:"instance_type"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("decoding combos: %w", err)
+	}
+	out := make([]spot.Combo, len(raw))
+	for i, r := range raw {
+		out[i] = spot.Combo{Zone: spot.Zone(r.Zone), Type: spot.InstanceType(r.InstanceType)}
+	}
+	return out, nil
+}
+
+type aggregate struct {
+	requests    int
+	errors      int
+	bytes       int64
+	latenciesMS []float64
+	elapsed     time.Duration
+}
+
+// runWorkers fans opts.conns workers out against the URL mix for d. In the
+// open-loop shape each worker paces arrivals at rps/conns and measures from
+// the scheduled arrival time.
+func runWorkers(client *http.Client, opts options, singles, batches []string, d time.Duration) aggregate {
+	type workerStats struct {
+		requests int
+		errors   int
+		bytes    int64
+		lat      []float64
+	}
+	stats := make([]workerStats, opts.conns)
+	began := time.Now()
+	deadline := began.Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.seed + int64(w)))
+			ws := &stats[w]
+			var interval time.Duration
+			next := began
+			if opts.rps > 0 {
+				interval = time.Duration(float64(opts.conns) / opts.rps * float64(time.Second))
+				next = began.Add(time.Duration(w) * interval / time.Duration(opts.conns))
+			}
+			for {
+				var startedAt time.Time
+				if opts.rps > 0 {
+					next = next.Add(interval)
+					if next.After(deadline) {
+						return
+					}
+					time.Sleep(time.Until(next))
+					startedAt = next // scheduled arrival: no coordinated omission
+				} else {
+					if !time.Now().Before(deadline) {
+						return
+					}
+					startedAt = time.Now()
+				}
+				target := singles[rng.Intn(len(singles))]
+				if len(batches) > 0 && rng.Float64() < opts.batchFrac {
+					target = batches[rng.Intn(len(batches))]
+				}
+				n, err := fetch(client, target)
+				ws.requests++
+				if err != nil {
+					ws.errors++
+					continue
+				}
+				ws.bytes += n
+				ws.lat = append(ws.lat, float64(time.Since(startedAt).Nanoseconds())/1e6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	agg := aggregate{elapsed: time.Since(began)}
+	for _, ws := range stats {
+		agg.requests += ws.requests
+		agg.errors += ws.errors
+		agg.bytes += ws.bytes
+		agg.latenciesMS = append(agg.latenciesMS, ws.lat...)
+	}
+	return agg
+}
+
+func fetch(client *http.Client, target string) (int64, error) {
+	resp, err := client.Get(target)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return n, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return n, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return n, nil
+}
+
+func printSummary(report *benchio.Report) {
+	fmt.Printf("machine: %s %s/%s, %d CPUs, %s\n",
+		report.Machine.GoVersion, report.Machine.GOOS, report.Machine.GOARCH,
+		report.Machine.NumCPU, report.Machine.CPUModel)
+	for _, res := range report.Results {
+		fmt.Printf("%-34s", res.Name)
+		keys := make([]string, 0, len(res.Metrics))
+		for k := range res.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s=%.6g", k, res.Metrics[k])
+		}
+		fmt.Println()
+	}
+}

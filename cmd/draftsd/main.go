@@ -10,8 +10,13 @@
 //	GET /metrics        (Prometheus text format)
 //	GET /v1/combos
 //	GET /v1/predictions?zone=Z&type=T&probability=P
+//	GET /v1/tables?combos=Z/T,Z/T&probability=P   (batched tables)
 //	GET /v1/advise?zone=Z&type=T&probability=P&duration=2h
 //	GET /debug/pprof/   (only with -pprof)
+//
+// Table reads are served from pre-encoded blobs with a refresh-epoch ETag
+// (If-None-Match revalidation answers 304); cmd/draftsbench load-tests
+// this path.
 //
 // With -data-dir the daemon keeps durable state — a write-ahead log of
 // every price tick plus snapshots of the served tables — and a restart

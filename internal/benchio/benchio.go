@@ -1,0 +1,216 @@
+// Package benchio defines the machine-readable benchmark report
+// (BENCH_serving.json) shared by cmd/draftsbench and the go test -bench
+// ingestion path, so load-harness runs and micro-benchmarks land in one
+// comparable document. The schema is append-only: readers must ignore
+// unknown fields and metrics, so reports from different revisions stay
+// diffable.
+//
+// The package deliberately never reads the clock — callers stamp
+// Report.GeneratedAt themselves — so everything here is deterministic and
+// trivially testable.
+package benchio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema identifies the report format version.
+const Schema = "drafts-bench/1"
+
+// Report is the top-level BENCH_serving.json document.
+type Report struct {
+	Schema      string    `json:"schema"`
+	GeneratedAt time.Time `json:"generated_at"`
+	Machine     Machine   `json:"machine"`
+	Results     []Result  `json:"results"`
+}
+
+// Machine captures the hardware and runtime the numbers were measured on —
+// the context without which no two reports are comparable.
+type Machine struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Hostname   string `json:"hostname,omitempty"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+}
+
+// Result is one measurement: a draftsbench scenario or one go test -bench
+// line. Metrics keys are scenario-specific ("throughput_rps",
+// "p99_latency_ms", "ns_per_op", ...); json.Marshal sorts them, so encoded
+// reports are deterministic.
+type Result struct {
+	// Name identifies the scenario ("closed-loop/predictions",
+	// "BenchmarkPredictionsEncoded", ...).
+	Name string `json:"name"`
+	// Kind is the measurement family: "closed-loop", "open-loop", "direct",
+	// or "gobench".
+	Kind string `json:"kind"`
+	// Labels carry scenario parameters (conns, rps, duration, target).
+	Labels map[string]string `json:"labels,omitempty"`
+	// Metrics are the measured values.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// NewReport assembles a report shell with the current machine captured;
+// generatedAt is injected by the caller (cmd binaries own the clock).
+func NewReport(generatedAt time.Time) *Report {
+	return &Report{
+		Schema:      Schema,
+		GeneratedAt: generatedAt,
+		Machine:     CaptureMachine(),
+	}
+}
+
+// Add appends one result.
+func (r *Report) Add(res Result) { r.Results = append(r.Results, res) }
+
+// CaptureMachine records the current host. Hostname and CPU model are
+// best-effort: their absence never fails a benchmark run.
+func CaptureMachine() Machine {
+	m := Machine{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if host, err := os.Hostname(); err == nil {
+		m.Hostname = host
+	}
+	m.CPUModel = cpuModel()
+	return m
+}
+
+// cpuModel reads the first "model name" from /proc/cpuinfo (Linux); on
+// other platforms it returns "".
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// Write marshals the report (indented, trailing newline) to path.
+func Write(path string, r *Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchio: encoding report: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("benchio: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Read loads a report written by Write.
+func Read(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchio: reading %s: %w", path, err)
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("benchio: decoding %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// ParseGoBench converts `go test -bench` output into results, one per
+// benchmark line. Recognized per-op columns — ns/op, B/op, allocs/op, and
+// any `<value> <unit>/op` custom metric — become metrics named
+// "ns_per_op", "bytes_per_op", "allocs_per_op", and "<unit>_per_op"; the
+// iteration count lands in "iterations". Non-benchmark lines (goos/pkg
+// headers, PASS, ok) are skipped.
+func ParseGoBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix ("BenchmarkFoo-8") so names stay
+		// stable across machines; the parallelism is in Machine anyway.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := Result{
+			Name:    name,
+			Kind:    "gobench",
+			Metrics: map[string]float64{"iterations": iters},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit, ok := strings.CutSuffix(fields[i+1], "/op")
+			if !ok {
+				continue
+			}
+			switch unit {
+			case "ns":
+				res.Metrics["ns_per_op"] = v
+			case "B":
+				res.Metrics["bytes_per_op"] = v
+			case "allocs":
+				res.Metrics["allocs_per_op"] = v
+			default:
+				res.Metrics[unit+"_per_op"] = v
+			}
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchio: scanning go test -bench output: %w", err)
+	}
+	return out, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sorted sample using
+// nearest-rank interpolation; zero on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q * float64(len(sorted)-1))
+	frac := q*float64(len(sorted)-1) - float64(idx)
+	if idx+1 < len(sorted) {
+		return sorted[idx] + frac*(sorted[idx+1]-sorted[idx])
+	}
+	return sorted[idx]
+}

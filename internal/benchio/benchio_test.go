@@ -1,0 +1,89 @@
+package benchio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseGoBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: github.com/drafts-go/drafts/internal/service
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPredictionsEncoded-8 	  855739	       430.6 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPredictionsMarshal 	   36087	     10721 ns/op	    2960 B/op	      29 allocs/op
+BenchmarkCustomMetric-4          1000      50.0 ns/op   3.5 tables/op
+PASS
+ok  	github.com/drafts-go/drafts/internal/service	2.614s
+`
+	results, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	first := results[0]
+	if first.Name != "BenchmarkPredictionsEncoded" {
+		t.Errorf("name %q (GOMAXPROCS suffix must be stripped)", first.Name)
+	}
+	if first.Kind != "gobench" {
+		t.Errorf("kind %q", first.Kind)
+	}
+	if first.Metrics["ns_per_op"] != 430.6 {
+		t.Errorf("ns_per_op = %v", first.Metrics["ns_per_op"])
+	}
+	if first.Metrics["allocs_per_op"] != 0 {
+		t.Errorf("allocs_per_op = %v", first.Metrics["allocs_per_op"])
+	}
+	if results[1].Name != "BenchmarkPredictionsMarshal" || results[1].Metrics["bytes_per_op"] != 2960 {
+		t.Errorf("second result: %+v", results[1])
+	}
+	if results[2].Metrics["tables_per_op"] != 3.5 {
+		t.Errorf("custom metric: %+v", results[2].Metrics)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 10}, {0.5, 5.5}, {0.9, 9.1},
+	}
+	for _, tc := range cases {
+		if got := Quantile(sorted, tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty sample must yield 0")
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	r := NewReport(time.Date(2016, 10, 1, 0, 0, 0, 0, time.UTC))
+	r.Add(Result{
+		Name:    "closed-loop/predictions",
+		Kind:    "closed-loop",
+		Labels:  map[string]string{"conns": "16"},
+		Metrics: map[string]float64{"throughput_rps": 12345.6, "p99_latency_ms": 1.25},
+	})
+	if err := Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Results) != 1 {
+		t.Fatalf("roundtrip lost data: %+v", got)
+	}
+	if got.Results[0].Metrics["throughput_rps"] != 12345.6 {
+		t.Errorf("metrics: %+v", got.Results[0].Metrics)
+	}
+	if got.Machine.GoVersion == "" || got.Machine.NumCPU == 0 {
+		t.Errorf("machine not captured: %+v", got.Machine)
+	}
+}

@@ -98,6 +98,13 @@ func (p Params) withDefaults() (Params, error) {
 	return p, nil
 }
 
+// WithDefaults returns the parameters with every zero field replaced by its
+// documented default, validating ranges — the effective parameters a
+// predictor constructed from p reports via Predictor.Params. Callers use it
+// to decide whether an existing predictor is interchangeable with one that
+// a given Params value would construct.
+func (p Params) WithDefaults() (Params, error) { return p.withDefaults() }
+
 // PriceQuantile returns q = sqrt(p), the quantile targeted on the price
 // series.
 func (p Params) PriceQuantile() float64 { return math.Sqrt(p.Probability) }

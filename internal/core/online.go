@@ -58,6 +58,20 @@ func NewPredictor(params Params, start time.Time) (*Predictor, error) {
 // Params returns the effective (default-filled) parameters.
 func (p *Predictor) Params() Params { return p.params }
 
+// Clone returns an independent deep copy of the predictor. Feeding original
+// and clone the same subsequent observations yields identical tables and
+// quotes — the invariant behind the service's incremental refresh, which
+// clones the previously installed (and immutably serving) predictor and
+// observes only the ticks that arrived since, instead of re-ingesting the
+// whole history window.
+func (p *Predictor) Clone() *Predictor {
+	q := *p
+	q.price = p.price.Clone()
+	q.prices = append([]float64(nil), p.prices[p.head:]...)
+	q.head = 0
+	return &q
+}
+
 // Observe feeds the next market price announcement.
 func (p *Predictor) Observe(price float64) {
 	if math.IsNaN(price) || math.IsInf(price, 0) || price <= 0 {

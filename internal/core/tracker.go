@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"github.com/drafts-go/drafts/internal/qbets"
 	"github.com/drafts-go/drafts/internal/spot"
@@ -137,17 +138,35 @@ func (lt *levelTracker) bound(qd, c float64) (steps int, ok bool) {
 	return lo, true
 }
 
+// scanScratch pools the per-call episode-count buffer of durationBoundScan.
+// A table build scans once per bid level over a window of up to three
+// months of ticks (~26k ints, ~200 KiB); without pooling every refresh
+// worker would allocate and discard megabytes of count buffers per combo.
+// The pool is per-P under the hood, so the refresh fan-out's workers reuse
+// their own scratch without contention. Pooling is invisible to results:
+// the buffer is fully re-zeroed before use.
+var scanScratch = sync.Pool{New: func() any { return new([]int) }}
+
 // durationBoundScan is the single-shot equivalent of a levelTracker: the
 // duration lower bound (in grid steps) for a fixed bid level over
 // prices[0..len-1], censored at the end of the slice. It runs in O(n) time
-// and O(n) transient space.
+// with pooled O(n) scratch space.
 func durationBoundScan(prices []float64, level float64, qd, c float64) (steps int, ok bool) {
 	n := len(prices)
 	if n == 0 {
 		return 0, false
 	}
 	// cnt[d] = number of resolved episodes with duration d.
-	cnt := make([]int, n+1)
+	bufp := scanScratch.Get().(*[]int)
+	defer scanScratch.Put(bufp)
+	cnt := *bufp
+	if cap(cnt) < n+1 {
+		cnt = make([]int, n+1)
+		*bufp = cnt
+	} else {
+		cnt = cnt[:n+1]
+		clear(cnt)
+	}
 	resolved := 0
 	r := 0
 	for i, p := range prices {

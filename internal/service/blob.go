@@ -1,0 +1,411 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/core"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+// The serving hot path is allocation-free: every bid table is JSON-encoded
+// once per refresh into an immutable encodedTables value that the handlers
+// read through an atomic pointer. A cached GET is then a substring scan of
+// the raw query, one map lookup, two preallocated header writes, and a
+// single w.Write of the stored blob — no per-request marshalling, no
+// url.Values, no []byte churn. The zero-allocation property is enforced by
+// TestCachedGetZeroAllocs via testing.AllocsPerRun.
+
+// maxBatchCombos caps how many combos one /v1/tables request may ask for,
+// bounding response size and validation work.
+const maxBatchCombos = 512
+
+// defaultProbKey is the canonical spelling of the default probability
+// level, matching probKey(0.99).
+const defaultProbKey = "0.99"
+
+// Preallocated header values, assigned into the response header map
+// directly so the hot path never allocates a fresh []string per request.
+var (
+	jsonCTHeader = []string{"application/json"}
+	newline      = []byte("\n")
+	openBracket  = []byte("[")
+	closeBracket = []byte("]\n")
+	comma        = []byte(",")
+)
+
+// blobKey addresses one pre-encoded table by the exact strings a request
+// carries, so lookups work on substrings of the raw query without
+// conversions.
+type blobKey struct {
+	zone, typ, prob string
+}
+
+// encodedTables is one refresh epoch's immutable pre-encoded serving state.
+// It is built once per refresh (or snapshot restore) and installed with an
+// atomic pointer swap; handlers treat every byte as read-only.
+type encodedTables struct {
+	asOf   time.Time
+	etag   string   // strong ETag derived from the refresh epoch, quoted
+	etagH  []string // preallocated header value: []string{etag}
+	tables map[blobKey][]byte
+	combos []byte // pre-encoded /v1/combos response body (no trailing newline)
+	bytes  int    // total pre-encoded payload bytes, for the gauge
+}
+
+// probKey formats a probability level the way the service addresses blobs:
+// the shortest round-trip representation, which matches how clients
+// naturally spell query values ("0.99", "0.95").
+func probKey(p float64) string { return strconv.FormatFloat(p, 'g', -1, 64) }
+
+// epochETag derives the strong ETag for a refresh epoch: a hash of the
+// installation time and table count. Tables only change when a refresh (or
+// snapshot restore) installs a new epoch, so the epoch identifies the
+// content; a restored snapshot carries its original asOf and therefore
+// revalidates against the same ETag it served before the restart.
+func epochETag(asOf time.Time, n int) string {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(asOf.UnixNano()))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(n))
+	_, _ = h.Write(buf[:])
+	return `"` + strconv.FormatUint(h.Sum64(), 16) + `"`
+}
+
+// encodeTables pre-encodes every table and the combo listing for one epoch.
+func encodeTables(tables map[tableKey]core.BidTable, asOf time.Time) (*encodedTables, error) {
+	et := &encodedTables{
+		asOf:   asOf,
+		etag:   epochETag(asOf, len(tables)),
+		tables: make(map[blobKey][]byte, len(tables)),
+	}
+	et.etagH = []string{et.etag}
+	seen := make(map[spot.Combo]bool)
+	for k, table := range tables {
+		body, err := json.Marshal(toJSON(k.combo, table))
+		if err != nil {
+			return nil, fmt.Errorf("service: encoding table for %s/p=%v: %w", k.combo, k.prob, err)
+		}
+		et.tables[blobKey{
+			zone: string(k.combo.Zone),
+			typ:  string(k.combo.Type),
+			prob: probKey(k.prob),
+		}] = body
+		et.bytes += len(body)
+		seen[k.combo] = true
+	}
+	list := make([]comboJSON, 0, len(seen))
+	for c := range seen {
+		list = append(list, comboJSON{Zone: string(c.Zone), InstanceType: string(c.Type)})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Zone != list[j].Zone {
+			return list[i].Zone < list[j].Zone
+		}
+		return list[i].InstanceType < list[j].InstanceType
+	})
+	combos, err := json.Marshal(list)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding combo list: %w", err)
+	}
+	et.combos = combos
+	et.bytes += len(combos)
+	return et, nil
+}
+
+// installBlobs encodes and atomically publishes the epoch's blob store.
+// The caller must install the matching tables map under s.mu around the
+// same time; an encoding failure publishes a nil store, which sends every
+// read to the marshal-per-request fallback rather than serving stale bytes.
+func (s *Server) installBlobs(tables map[tableKey]core.BidTable, asOf time.Time) {
+	began := time.Now()
+	et, err := encodeTables(tables, asOf)
+	if err != nil {
+		s.logger.Error("encoding blob store failed; serving via marshal fallback", "err", err)
+		s.blobs.Store(nil)
+		s.metrics.blobBytes.Set(0)
+		return
+	}
+	s.blobs.Store(et)
+	s.metrics.blobBytes.Set(float64(et.bytes))
+	s.metrics.encodeDuration.Observe(time.Since(began).Seconds())
+}
+
+// fastQuery reports whether the raw query can be read by plain substring
+// extraction: any percent-escape or '+' forces the url.Values slow path.
+func fastQuery(q string) bool {
+	for i := 0; i < len(q); i++ {
+		if q[i] == '%' || q[i] == '+' {
+			return false
+		}
+	}
+	return true
+}
+
+// rawQueryValue extracts the value of key from an unescaped raw query
+// without allocating: the result is a substring of q.
+func rawQueryValue(q, key string) (val string, found bool) {
+	for len(q) > 0 {
+		var pair string
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			pair, q = q[:i], q[i+1:]
+		} else {
+			pair, q = q, ""
+		}
+		if len(pair) > len(key) && pair[len(key)] == '=' && pair[:len(key)] == key {
+			return pair[len(key)+1:], true
+		}
+	}
+	return "", false
+}
+
+// etagMatches implements the If-None-Match comparison against the epoch's
+// strong ETag. Comma-separated candidate lists are honoured by substring
+// search — every stored ETag is a quoted hash, so false positives cannot
+// occur — and "*" matches any current representation.
+func etagMatches(header, etag string) bool {
+	return header == "*" || strings.Contains(header, etag)
+}
+
+// writeBlob serves one pre-encoded body with ETag revalidation. The blob
+// must not include its trailing newline; writeBlob appends it so responses
+// stay byte-identical with the json.Encoder output of the marshal path.
+func (s *Server) writeBlob(w http.ResponseWriter, r *http.Request, et *encodedTables, body []byte) {
+	h := w.Header()
+	h["Etag"] = et.etagH
+	h["Content-Type"] = jsonCTHeader
+	if m := r.Header.Get("If-None-Match"); m != "" && etagMatches(m, et.etag) {
+		s.metrics.notModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	_, _ = w.Write(newline)
+}
+
+// lookupBlob resolves a (zone, type, probability-string) triple to its
+// pre-encoded table, canonicalizing non-canonical probability spellings
+// ("0.990") on miss.
+func (et *encodedTables) lookupBlob(zone, typ, prob string) ([]byte, bool) {
+	if b, ok := et.tables[blobKey{zone: zone, typ: typ, prob: prob}]; ok {
+		return b, true
+	}
+	if f, err := strconv.ParseFloat(prob, 64); err == nil {
+		if b, ok := et.tables[blobKey{zone: zone, typ: typ, prob: probKey(f)}]; ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// handlePredictions serves one bid table. Requests without an account
+// parameter hit the pre-encoded blob store — a map lookup and a single
+// write, no allocation; account-mapped requests and spellings the fast
+// parse cannot handle fall back to the marshal path, which preserves the
+// service's original semantics (and bytes) exactly.
+func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
+	if et := s.blobs.Load(); et != nil {
+		q := r.URL.RawQuery
+		if fastQuery(q) {
+			if _, acct := rawQueryValue(q, "account"); !acct {
+				zone, _ := rawQueryValue(q, "zone")
+				typ, _ := rawQueryValue(q, "type")
+				prob, hasProb := rawQueryValue(q, "probability")
+				if !hasProb {
+					prob = defaultProbKey
+				}
+				if zone != "" && typ != "" {
+					if body, ok := et.lookupBlob(zone, typ, prob); ok {
+						s.writeBlob(w, r, et, body)
+						return
+					}
+				}
+			}
+		}
+	}
+	s.handlePredictionsMarshal(w, r)
+}
+
+// handleCombos serves the combo listing, pre-encoded when a blob store is
+// installed.
+func (s *Server) handleCombos(w http.ResponseWriter, r *http.Request) {
+	if et := s.blobs.Load(); et != nil {
+		s.writeBlob(w, r, et, et.combos)
+		return
+	}
+	s.handleCombosMarshal(w, r)
+}
+
+// handleTables is the batch read endpoint:
+//
+//	GET /v1/tables?combos=zone/type,zone/type,...&probability=P
+//
+// It streams the requested combos' pre-encoded tables as a JSON array in
+// request order, revalidating the whole batch against the epoch ETag. The
+// request is all-or-nothing: every combo is resolved before the first byte
+// is written, so a miss is a clean 404 rather than a truncated array.
+// Account-obfuscated zone names are not translated here; batch consumers
+// address combos by canonical names (as listed by /v1/combos).
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	et := s.blobs.Load()
+	if et == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no tables computed yet")
+		return
+	}
+	q := r.URL.RawQuery
+	var combosParam, prob string
+	if fastQuery(q) {
+		combosParam, _ = rawQueryValue(q, "combos")
+		prob, _ = rawQueryValue(q, "probability")
+	} else {
+		vals := r.URL.Query()
+		combosParam = vals.Get("combos")
+		prob = vals.Get("probability")
+	}
+	if combosParam == "" {
+		writeErr(w, http.StatusBadRequest, "combos is required (comma-separated zone/type pairs)")
+		return
+	}
+	if prob == "" {
+		prob = defaultProbKey
+	} else if f, err := strconv.ParseFloat(prob, 64); err != nil || !(f > 0 && f < 1) {
+		writeErr(w, http.StatusBadRequest, "invalid probability %q", prob)
+		return
+	}
+
+	// First pass: resolve every combo before writing anything.
+	n := 0
+	rest := combosParam
+	for rest != "" {
+		var part string
+		if i := strings.IndexByte(rest, ','); i >= 0 {
+			part, rest = rest[:i], rest[i+1:]
+		} else {
+			part, rest = rest, ""
+		}
+		zone, typ, ok := strings.Cut(part, "/")
+		if !ok || zone == "" || typ == "" {
+			writeErr(w, http.StatusBadRequest, "combo %q must be zone/type", part)
+			return
+		}
+		if _, ok := et.lookupBlob(zone, typ, prob); !ok {
+			writeErr(w, http.StatusNotFound, "no table for %s/%s at probability %s", zone, typ, prob)
+			return
+		}
+		n++
+		if n > maxBatchCombos {
+			writeErr(w, http.StatusBadRequest, "too many combos (limit %d)", maxBatchCombos)
+			return
+		}
+	}
+	s.metrics.batchCombos.Observe(float64(n))
+
+	h := w.Header()
+	h["Etag"] = et.etagH
+	h["Content-Type"] = jsonCTHeader
+	if m := r.Header.Get("If-None-Match"); m != "" && etagMatches(m, et.etag) {
+		s.metrics.notModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(openBracket)
+	first := true
+	rest = combosParam
+	for rest != "" {
+		var part string
+		if i := strings.IndexByte(rest, ','); i >= 0 {
+			part, rest = rest[:i], rest[i+1:]
+		} else {
+			part, rest = rest, ""
+		}
+		zone, typ, _ := strings.Cut(part, "/")
+		body, _ := et.lookupBlob(zone, typ, prob)
+		if !first {
+			_, _ = w.Write(comma)
+		}
+		first = false
+		_, _ = w.Write(body)
+	}
+	_, _ = w.Write(closeBracket)
+}
+
+// handlePredictionsMarshal is the pre-blob-store read path: it re-encodes
+// the table from the installed core representation on every request. It
+// remains both the fallback for requests the fast path cannot serve
+// (account-mapped zones, blob store momentarily absent) and the regression
+// baseline that MarshalHandler exposes to draftsbench.
+func (s *Server) handlePredictionsMarshal(w http.ResponseWriter, r *http.Request) {
+	visible, combo, prob, ok := s.resolveCombo(w, r)
+	if !ok {
+		return
+	}
+	table, ok := s.table(combo, prob)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no table for %s at probability %v", combo, prob)
+		return
+	}
+	// Answer under the client's own zone name.
+	writeJSON(w, http.StatusOK, toJSON(spot.Combo{Zone: visible, Type: combo.Type}, table))
+}
+
+// handleCombosMarshal is the marshal-per-request combo listing, kept as the
+// fallback and benchmarking baseline for handleCombos.
+func (s *Server) handleCombosMarshal(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	seen := make(map[spot.Combo]bool)
+	for k := range s.tables {
+		seen[k.combo] = true
+	}
+	s.mu.RUnlock()
+	out := make([]comboJSON, 0, len(seen))
+	for c := range seen {
+		out = append(out, comboJSON{Zone: string(c.Zone), InstanceType: string(c.Type)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Zone != out[j].Zone {
+			return out[i].Zone < out[j].Zone
+		}
+		return out[i].InstanceType < out[j].InstanceType
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// MarshalHandler returns the REST API with the pre-encoded fast path
+// disabled: /v1/predictions and /v1/combos marshal JSON from the installed
+// tables on every request, exactly as the service behaved before the blob
+// store existed. It exists so draftsbench -direct and the Go benchmarks can
+// measure the serving fast path against the historical baseline on the same
+// tables; production traffic uses Handler.
+func (s *Server) MarshalHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/combos", s.handleCombosMarshal)
+	mux.HandleFunc("GET /v1/predictions", s.handlePredictionsMarshal)
+	mux.HandleFunc("GET /v1/advise", s.handleAdvise)
+	if !s.metrics.on {
+		return mux
+	}
+	return s.instrument(mux)
+}
+
+// blobSnapshotEqual is a test hook: it reports whether the currently
+// installed blob for the combo/probability equals body. Unused in
+// production paths.
+func (s *Server) blobSnapshotEqual(c spot.Combo, prob float64, body []byte) bool {
+	et := s.blobs.Load()
+	if et == nil {
+		return false
+	}
+	b, ok := et.tables[blobKey{zone: string(c.Zone), typ: string(c.Type), prob: probKey(prob)}]
+	return ok && bytes.Equal(b, body)
+}

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/drafts-go/drafts/internal/telemetry"
@@ -19,13 +20,19 @@ type serviceMetrics struct {
 	requests *telemetry.CounterVec   // route, code class
 	latency  *telemetry.HistogramVec // route
 
-	refreshDuration *telemetry.Histogram
-	refreshErrors   *telemetry.Counter
-	comboErrors     *telemetry.Counter
-	combosComputed  *telemetry.Counter
-	combosSkipped   *telemetry.Counter
-	tables          *telemetry.Gauge
-	lastSuccess     *telemetry.Gauge
+	refreshDuration    *telemetry.Histogram
+	refreshErrors      *telemetry.Counter
+	comboErrors        *telemetry.Counter
+	combosComputed     *telemetry.Counter
+	combosSkipped      *telemetry.Counter
+	refreshIncremental *telemetry.Counter
+	tables             *telemetry.Gauge
+	lastSuccess        *telemetry.Gauge
+
+	notModified    *telemetry.Counter
+	encodeDuration *telemetry.Histogram
+	blobBytes      *telemetry.Gauge
+	batchCombos    *telemetry.Histogram
 }
 
 func newServiceMetrics(r *telemetry.Registry) *serviceMetrics {
@@ -48,15 +55,28 @@ func newServiceMetrics(r *telemetry.Registry) *serviceMetrics {
 			"Bid tables successfully computed across refresh cycles."),
 		combosSkipped: r.Counter("drafts_refresh_combos_skipped_total",
 			"Combos skipped during refresh (no usable history or no table)."),
+		refreshIncremental: r.Counter("drafts_refresh_incremental_total",
+			"Tables refreshed via the incremental (clone + new ticks) path."),
 		tables: r.Gauge("drafts_tables",
 			"Bid tables currently being served."),
 		lastSuccess: r.Gauge("drafts_last_refresh_success_timestamp_seconds",
 			"Unix time of the last successful refresh."),
+		notModified: r.Counter("drafts_http_not_modified_total",
+			"Conditional GETs answered 304 via If-None-Match."),
+		encodeDuration: r.Histogram("drafts_blob_encode_seconds",
+			"Time spent pre-encoding the blob store per refresh.", nil),
+		blobBytes: r.Gauge("drafts_blob_store_bytes",
+			"Total pre-encoded response bytes in the installed blob store."),
+		batchCombos: r.Histogram("drafts_batch_combos",
+			"Combos requested per /v1/tables batch request.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
 	}
 }
 
 // statusWriter captures the status code a handler writes. Handlers here
 // only use Header/Write/WriteHeader, so no other interfaces are forwarded.
+// Instances are pooled so the instrumented hot path does not allocate a
+// wrapper per request.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -67,6 +87,8 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
 // instrument wraps the route mux with request counting and latency
 // recording. The route label comes from the mux's own pattern match, so
 // high-cardinality request paths collapse to the registered routes plus
@@ -76,9 +98,14 @@ func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 		began := time.Now()
 		_, pattern := mux.Handler(r)
 		route := routeLabel(pattern)
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := statusWriterPool.Get().(*statusWriter)
+		sw.ResponseWriter = w
+		sw.status = http.StatusOK
 		mux.ServeHTTP(sw, r)
-		s.metrics.requests.With(route, statusClass(sw.status)).Inc()
+		status := sw.status
+		sw.ResponseWriter = nil
+		statusWriterPool.Put(sw)
+		s.metrics.requests.With(route, statusClass(status)).Inc()
 		s.metrics.latency.With(route).Observe(time.Since(began).Seconds())
 	})
 }

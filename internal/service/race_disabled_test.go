@@ -1,0 +1,8 @@
+//go:build !race
+
+package service
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation adds heap allocations that would fail the
+// zero-allocation assertions.
+const raceEnabled = false

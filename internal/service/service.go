@@ -20,9 +20,9 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
-	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/drafts-go/drafts/internal/core"
@@ -53,6 +53,16 @@ type Config struct {
 	// Smaller values trade refresh latency for a quieter machine — useful
 	// when draftsd shares a host.
 	RefreshWorkers int
+	// IncrementalMaxTicks caps how many new price ticks a combo may have
+	// accumulated since the last refresh for the incremental path to apply:
+	// instead of re-ingesting the whole history window (~26k ticks for three
+	// months), the refresh clones the previously installed predictor and
+	// feeds it only the new ticks. Incremental results are byte-identical to
+	// a full recompute (enforced by TestIncrementalRefreshEquivalence); the
+	// cap only bounds the clone cost spent before falling back to the flat
+	// full scan. Zero selects DefaultIncrementalMaxTicks; negative disables
+	// the incremental path entirely.
+	IncrementalMaxTicks int
 	// Durable, when non-nil, receives the encoded serving state after every
 	// successful refresh (for crash recovery) and a retention-compaction
 	// request aligned with the history window. Persistence failures are
@@ -81,13 +91,29 @@ type Config struct {
 	Metrics *telemetry.Registry
 }
 
+// DefaultIncrementalMaxTicks is the default cap on the incremental refresh
+// path: one day of 5-minute ticks. A refresh loop running anywhere near its
+// default 15-minute period accumulates ~3 ticks per cycle, so in steady
+// state every refresh is incremental; the cap only matters after long
+// outages, where a full recompute is no slower than replaying the gap.
+const DefaultIncrementalMaxTicks = 24 * 12
+
 // Server computes and serves bid tables, and retains each combo's online
 // predictor so /v1/advise can answer duration queries beyond the published
 // table span (escalating exactly as the library's Advise does).
 type Server struct {
-	cfg     Config
-	logger  *slog.Logger
-	metrics *serviceMetrics
+	cfg            Config
+	logger         *slog.Logger
+	metrics        *serviceMetrics
+	incrementalMax int
+
+	// blobs is the pre-encoded serving state for the read fast path,
+	// replaced wholesale by each refresh (or snapshot restore). Handlers
+	// Load it once per request and treat the contents as immutable, so
+	// cached GETs never touch s.mu. Nil until the first install, and reset
+	// to nil if encoding ever fails — readers then fall back to
+	// marshalling from s.tables under the lock.
+	blobs atomic.Pointer[encodedTables]
 
 	mu      sync.RWMutex
 	tables  map[tableKey]core.BidTable
@@ -127,21 +153,34 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RefreshWorkers < 0 {
 		return nil, fmt.Errorf("service: negative refresh workers")
 	}
+	incrementalMax := cfg.IncrementalMaxTicks
+	switch {
+	case incrementalMax == 0:
+		incrementalMax = DefaultIncrementalMaxTicks
+	case incrementalMax < 0:
+		incrementalMax = 0 // disabled
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = telemetry.NopLogger()
 	}
 	return &Server{
-		cfg:     cfg,
-		logger:  logger,
-		metrics: newServiceMetrics(cfg.Metrics),
-		tables:  make(map[tableKey]core.BidTable),
-		preds:   make(map[tableKey]*core.Predictor),
+		cfg:            cfg,
+		logger:         logger,
+		metrics:        newServiceMetrics(cfg.Metrics),
+		incrementalMax: incrementalMax,
+		tables:         make(map[tableKey]core.BidTable),
+		preds:          make(map[tableKey]*core.Predictor),
 	}, nil
 }
 
 // Refresh recomputes every combo's bid tables from the current histories,
-// in parallel across CPUs.
+// fanned out across RefreshWorkers goroutines (GOMAXPROCS by default).
+// Combos whose history advanced by at most IncrementalMaxTicks since the
+// previous refresh take the incremental path: the installed predictor is
+// cloned and fed only the new ticks, producing byte-identical tables at a
+// fraction of the full-window cost. The fresh tables are then pre-encoded
+// into the blob store and both are installed atomically.
 //
 // Refreshes are best-effort per combo: a predictor failure is counted,
 // logged, and surfaced through /healthz and the refresh metrics, but the
@@ -158,13 +197,33 @@ func (s *Server) Refresh() error {
 	combos := s.cfg.Source.Combos()
 	fresh := make(map[tableKey]core.BidTable, len(combos)*len(s.cfg.Probabilities))
 	freshPreds := make(map[tableKey]*core.Predictor, len(combos)*len(s.cfg.Probabilities))
+
+	// Snapshot the currently installed predictors for the incremental path.
+	// The map is replaced wholesale on install, never mutated in place, so
+	// reading it without holding the lock during the fan-out is safe.
+	s.mu.RLock()
+	prevPreds := s.preds
+	s.mu.RUnlock()
+
+	// The effective parameters a fresh predictor would get, per probability
+	// level: an installed predictor is reusable only if its parameters match
+	// exactly. A Params validation error here would also fail NewPredictor
+	// below, so it is left for the worker loop to report.
+	wantParams := make([]core.Params, len(s.cfg.Probabilities))
+	for i, prob := range s.cfg.Probabilities {
+		if p, err := (core.Params{Probability: prob, MaxHistory: s.cfg.MaxHistory}).WithDefaults(); err == nil {
+			wantParams[i] = p
+		}
+	}
+
 	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-		lastErr  error
-		errCount int
-		skipped  int
+		mu          sync.Mutex
+		wg          sync.WaitGroup
+		firstErr    error
+		lastErr     error
+		errCount    int
+		skipped     int
+		incremental int
 	)
 	workers := s.cfg.RefreshWorkers
 	if workers == 0 {
@@ -183,30 +242,39 @@ func (s *Server) Refresh() error {
 					mu.Unlock()
 					continue
 				}
-				for _, prob := range s.cfg.Probabilities {
-					pred, err := core.NewPredictor(core.Params{
-						Probability: prob,
-						MaxHistory:  s.cfg.MaxHistory,
-					}, series.Start)
-					if err != nil {
-						s.metrics.comboErrors.Inc()
-						s.logger.Warn("refresh: predictor failed",
-							"zone", string(c.Zone), "type", string(c.Type),
-							"probability", prob, "err", err)
+				for i, prob := range s.cfg.Probabilities {
+					key := tableKey{combo: c, prob: prob}
+					pred := s.extendPredictor(prevPreds[key], wantParams[i], series)
+					if pred != nil {
 						mu.Lock()
-						errCount++
-						if firstErr == nil {
-							firstErr = err
-						}
-						lastErr = err
+						incremental++
 						mu.Unlock()
-						continue
+					} else {
+						var err error
+						pred, err = core.NewPredictor(core.Params{
+							Probability: prob,
+							MaxHistory:  s.cfg.MaxHistory,
+						}, series.Start)
+						if err != nil {
+							s.metrics.comboErrors.Inc()
+							s.logger.Warn("refresh: predictor failed",
+								"zone", string(c.Zone), "type", string(c.Type),
+								"probability", prob, "err", err)
+							mu.Lock()
+							errCount++
+							if firstErr == nil {
+								firstErr = err
+							}
+							lastErr = err
+							mu.Unlock()
+							continue
+						}
+						pred.ObserveSeries(series)
 					}
-					pred.ObserveSeries(series)
 					if table, ok := pred.Table(); ok {
 						mu.Lock()
-						fresh[tableKey{combo: c, prob: prob}] = table
-						freshPreds[tableKey{combo: c, prob: prob}] = pred
+						fresh[key] = table
+						freshPreds[key] = pred
 						mu.Unlock()
 					} else {
 						mu.Lock()
@@ -227,6 +295,7 @@ func (s *Server) Refresh() error {
 	s.metrics.refreshDuration.Observe(elapsed.Seconds())
 	s.metrics.combosComputed.Add(uint64(len(fresh)))
 	s.metrics.combosSkipped.Add(uint64(skipped))
+	s.metrics.refreshIncremental.Add(uint64(incremental))
 
 	if len(fresh) == 0 && errCount > 0 {
 		err := fmt.Errorf("service: refresh produced no tables (%d failures, first: %w)", errCount, firstErr)
@@ -248,13 +317,47 @@ func (s *Server) Refresh() error {
 	s.asOf = now
 	s.lastErr = errStr
 	s.mu.Unlock()
+	s.installBlobs(fresh, now)
 	s.metrics.tables.Set(float64(len(fresh)))
 	s.metrics.lastSuccess.SetTime(now)
 	s.logger.Info("refresh complete",
 		"tables", len(fresh), "skipped", skipped, "combo_errors", errCount,
-		"elapsed", elapsed.Round(time.Millisecond))
+		"incremental", incremental, "elapsed", elapsed.Round(time.Millisecond))
 	s.persist(now)
 	return nil
+}
+
+// extendPredictor attempts the incremental refresh path for one combo: if
+// the previously installed predictor has matching parameters and the series
+// has advanced by no more than incrementalMax ticks on the same grid, it
+// returns a clone of that predictor extended with exactly the new ticks.
+// Installed predictors are shared with in-flight /v1/advise requests and
+// must never be mutated, which is why the clone is mandatory. A nil return
+// means the caller must rebuild from the full window.
+//
+// The clone's lifetime observation sequence then equals what a fresh
+// predictor sees over the full series, making the resulting tables
+// byte-identical to a full recompute — TestIncrementalRefreshEquivalence
+// enforces this across randomized tick sequences.
+func (s *Server) extendPredictor(old *core.Predictor, want core.Params, series *history.Series) *core.Predictor {
+	if old == nil || s.incrementalMax <= 0 || old.Len() == 0 || old.Params() != want {
+		return nil
+	}
+	// Map the predictor's watermark onto the series grid; the tick at
+	// next-1 must be exactly the predictor's latest observation time or the
+	// grids have diverged (source swapped, series rebuilt from scratch).
+	next := series.IndexOf(old.Now()) + 1
+	if next < 1 || next > series.Len() || series.Len()-next > s.incrementalMax {
+		return nil
+	}
+	if !series.TimeAt(next - 1).Equal(old.Now()) {
+		return nil
+	}
+	pred := old.Clone()
+	for _, v := range series.Prices[next:] {
+		pred.Observe(v)
+	}
+	return pred
 }
 
 // persist checkpoints the freshly installed serving state and trims WAL
@@ -380,7 +483,13 @@ func FromJSON(tj TableJSON) (spot.Combo, core.BidTable) {
 //	GET /healthz                  -> {"status":"ok","tables":N,...}
 //	GET /v1/combos                -> [{"zone":..., "instance_type":...}, ...]
 //	GET /v1/predictions?zone=Z&type=T&probability=P -> TableJSON
+//	GET /v1/tables?combos=Z/T,Z/T&probability=P     -> [TableJSON, ...]
 //	GET /v1/advise?zone=Z&type=T&probability=P&duration=2h -> QuoteJSON
+//
+// /v1/combos, /v1/predictions, and /v1/tables serve pre-encoded responses
+// with a strong ETag derived from the refresh epoch; requests carrying a
+// matching If-None-Match receive 304 Not Modified. Cached /v1/predictions
+// GETs perform zero heap allocations.
 //
 // With a metrics registry configured, every request is recorded in
 // drafts_http_requests_total and drafts_http_request_seconds.
@@ -389,6 +498,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/combos", s.handleCombos)
 	mux.HandleFunc("GET /v1/predictions", s.handlePredictions)
+	mux.HandleFunc("GET /v1/tables", s.handleTables)
 	mux.HandleFunc("GET /v1/advise", s.handleAdvise)
 	if !s.metrics.on {
 		return mux
@@ -440,40 +550,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 type comboJSON struct {
 	Zone         string `json:"zone"`
 	InstanceType string `json:"instance_type"`
-}
-
-func (s *Server) handleCombos(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	seen := make(map[spot.Combo]bool)
-	for k := range s.tables {
-		seen[k.combo] = true
-	}
-	s.mu.RUnlock()
-	out := make([]comboJSON, 0, len(seen))
-	for c := range seen {
-		out = append(out, comboJSON{Zone: string(c.Zone), InstanceType: string(c.Type)})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Zone != out[j].Zone {
-			return out[i].Zone < out[j].Zone
-		}
-		return out[i].InstanceType < out[j].InstanceType
-	})
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
-	visible, combo, prob, ok := s.resolveCombo(w, r)
-	if !ok {
-		return
-	}
-	table, ok := s.table(combo, prob)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no table for %s at probability %v", combo, prob)
-		return
-	}
-	// Answer under the client's own zone name.
-	writeJSON(w, http.StatusOK, toJSON(spot.Combo{Zone: visible, Type: combo.Type}, table))
 }
 
 // QuoteJSON is a bid recommendation on the wire.

@@ -40,6 +40,7 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval, or none)", s)
 }
 
+// String returns the flag spelling ParseFsyncPolicy accepts for p.
 func (p FsyncPolicy) String() string {
 	switch p {
 	case FsyncAlways:
