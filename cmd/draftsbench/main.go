@@ -70,6 +70,10 @@ type options struct {
 	directCombos int
 	directTicks  int
 	seed         int64
+
+	overload     bool
+	overloadMult float64
+	overloadOut  string
 }
 
 func main() {
@@ -89,10 +93,17 @@ func main() {
 	flag.IntVar(&opts.directCombos, "direct-combos", 3, "combos in the in-process server (-direct)")
 	flag.IntVar(&opts.directTicks, "direct-ticks", 9000, "history ticks per combo (-direct)")
 	flag.Int64Var(&opts.seed, "seed", 42, "price generator seed (-direct)")
+	flag.BoolVar(&opts.overload, "overload", false, "overload scenario: measure capacity, then drive -overload-mult times it open-loop (requires -target)")
+	flag.Float64Var(&opts.overloadMult, "overload-mult", 2, "offered load as a multiple of measured capacity (-overload)")
+	flag.StringVar(&opts.overloadOut, "overload-out", "BENCH_overload.json", "overload report output path")
 	flag.Parse()
 
 	if opts.target == "" && !opts.direct && opts.gobench == "" {
 		fmt.Fprintln(os.Stderr, "draftsbench: nothing to do; pass -target, -direct, and/or -gobench (see -h)")
+		os.Exit(2)
+	}
+	if opts.overload && opts.target == "" {
+		fmt.Fprintln(os.Stderr, "draftsbench: -overload requires -target")
 		os.Exit(2)
 	}
 
@@ -108,17 +119,27 @@ func main() {
 			fatal(err)
 		}
 	}
-	if opts.target != "" {
+	// The overload scenario replaces the plain live run: it measures
+	// capacity first, then offers a multiple of it, and writes its own
+	// report file.
+	if opts.target != "" && !opts.overload {
 		if err := runLive(report, opts); err != nil {
 			fatal(err)
 		}
 	}
-
-	if err := benchio.Write(opts.out, report); err != nil {
-		fatal(err)
+	if opts.overload {
+		if err := runOverload(opts); err != nil {
+			fatal(err)
+		}
 	}
-	printSummary(report)
-	fmt.Printf("report written to %s\n", opts.out)
+
+	if len(report.Results) > 0 {
+		if err := benchio.Write(opts.out, report); err != nil {
+			fatal(err)
+		}
+		printSummary(report)
+		fmt.Printf("report written to %s\n", opts.out)
+	}
 }
 
 func fatal(err error) {
@@ -321,6 +342,105 @@ func runLive(report *benchio.Report, opts options) error {
 	return nil
 }
 
+// runOverload is the two-phase overload scenario against a live daemon.
+// Phase one measures serving capacity (closed loop at -conns) and the
+// uncontended p99; phase two offers -overload-mult times that capacity
+// open-loop and reports what admission control made of it: goodput, shed
+// rate, and the p99 of the requests that were accepted — the number that
+// shows whether accepted work stays fast while overflow is refused.
+func runOverload(opts options) error {
+	combos, err := resolveCombos(opts)
+	if err != nil {
+		return err
+	}
+	if len(combos) == 0 {
+		return fmt.Errorf("target serves no combos")
+	}
+	singles := make([]string, len(combos))
+	for i, c := range combos {
+		q := url.Values{}
+		q.Set("zone", string(c.Zone))
+		q.Set("type", string(c.Type))
+		q.Set("probability", fmt.Sprint(opts.probability))
+		singles[i] = opts.target + "/v1/predictions?" + q.Encode()
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.conns,
+			MaxIdleConnsPerHost: opts.conns,
+		},
+	}
+
+	// Phase 1: capacity probe — closed loop, no batching.
+	probe := opts
+	probe.rps = 0
+	probe.batchFrac = 0
+	probeDur := opts.duration / 4
+	if probeDur < 2*time.Second {
+		probeDur = 2 * time.Second
+	}
+	if opts.warmup > 0 {
+		runWorkers(client, probe, singles, nil, opts.warmup)
+	}
+	capAgg := runWorkers(client, probe, singles, nil, probeDur)
+	accepted := len(capAgg.latenciesMS)
+	if accepted == 0 {
+		return fmt.Errorf("capacity probe: no requests accepted (%d sent, %d errors, %d shed)",
+			capAgg.requests, capAgg.errors, capAgg.shed)
+	}
+	capacity := float64(accepted) / capAgg.elapsed.Seconds()
+	sort.Float64s(capAgg.latenciesMS)
+	baseP99 := benchio.Quantile(capAgg.latenciesMS, 0.99)
+
+	// Phase 2: open loop at a multiple of measured capacity. Latency is
+	// measured from the scheduled arrival time, so queueing delay under
+	// overload is fully visible.
+	over := opts
+	over.rps = capacity * opts.overloadMult
+	over.batchFrac = 0
+	agg := runWorkers(client, over, singles, nil, opts.duration)
+	if agg.requests == 0 {
+		return fmt.Errorf("overload phase made no requests")
+	}
+	sort.Float64s(agg.latenciesMS)
+	p99 := benchio.Quantile(agg.latenciesMS, 0.99)
+	metrics := map[string]float64{
+		"capacity_rps":    capacity,
+		"offered_rps":     over.rps,
+		"requests":        float64(agg.requests),
+		"accepted":        float64(len(agg.latenciesMS)),
+		"shed":            float64(agg.shed),
+		"errors":          float64(agg.errors),
+		"goodput_rps":     float64(len(agg.latenciesMS)) / agg.elapsed.Seconds(),
+		"shed_rate":       float64(agg.shed) / float64(agg.requests),
+		"base_p99_ms":     baseP99,
+		"accepted_p50_ms": benchio.Quantile(agg.latenciesMS, 0.50),
+		"accepted_p99_ms": p99,
+		"accepted_max_ms": benchio.Quantile(agg.latenciesMS, 1),
+	}
+	if baseP99 > 0 {
+		metrics["p99_ratio"] = p99 / baseP99
+	}
+	report := benchio.NewReport(time.Now().UTC())
+	report.Add(benchio.Result{
+		Name: "overload/predictions",
+		Kind: "overload",
+		Labels: map[string]string{
+			"target": opts.target, "conns": fmt.Sprint(opts.conns),
+			"duration": opts.duration.String(), "combos": fmt.Sprint(len(combos)),
+			"mult": fmt.Sprint(opts.overloadMult),
+		},
+		Metrics: metrics,
+	})
+	if err := benchio.Write(opts.overloadOut, report); err != nil {
+		return err
+	}
+	printSummary(report)
+	fmt.Printf("overload report written to %s\n", opts.overloadOut)
+	return nil
+}
+
 // resolveCombos parses -combos or asks the target's /v1/combos.
 func resolveCombos(opts options) ([]spot.Combo, error) {
 	if opts.combos != "" {
@@ -359,8 +479,9 @@ func resolveCombos(opts options) ([]spot.Combo, error) {
 type aggregate struct {
 	requests    int
 	errors      int
+	shed        int // 503s: admission control refused the request
 	bytes       int64
-	latenciesMS []float64
+	latenciesMS []float64 // accepted (200) requests only
 	elapsed     time.Duration
 }
 
@@ -371,6 +492,7 @@ func runWorkers(client *http.Client, opts options, singles, batches []string, d 
 	type workerStats struct {
 		requests int
 		errors   int
+		shed     int
 		bytes    int64
 		lat      []float64
 	}
@@ -409,14 +531,19 @@ func runWorkers(client *http.Client, opts options, singles, batches []string, d 
 				if len(batches) > 0 && rng.Float64() < opts.batchFrac {
 					target = batches[rng.Intn(len(batches))]
 				}
-				n, err := fetch(client, target)
+				n, status, err := fetch(client, target)
 				ws.requests++
-				if err != nil {
+				switch {
+				case err != nil:
 					ws.errors++
-					continue
+				case status == http.StatusOK:
+					ws.bytes += n
+					ws.lat = append(ws.lat, float64(time.Since(startedAt).Nanoseconds())/1e6)
+				case status == http.StatusServiceUnavailable:
+					ws.shed++
+				default:
+					ws.errors++
 				}
-				ws.bytes += n
-				ws.lat = append(ws.lat, float64(time.Since(startedAt).Nanoseconds())/1e6)
 			}
 		}(w)
 	}
@@ -425,26 +552,27 @@ func runWorkers(client *http.Client, opts options, singles, batches []string, d 
 	for _, ws := range stats {
 		agg.requests += ws.requests
 		agg.errors += ws.errors
+		agg.shed += ws.shed
 		agg.bytes += ws.bytes
 		agg.latenciesMS = append(agg.latenciesMS, ws.lat...)
 	}
 	return agg
 }
 
-func fetch(client *http.Client, target string) (int64, error) {
+// fetch drains one response and reports its status: overload scenarios
+// must tell a shed 503 (an admission-control outcome worth counting) from
+// a transport failure.
+func fetch(client *http.Client, target string) (int64, int, error) {
 	resp, err := client.Get(target)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	n, err := io.Copy(io.Discard, resp.Body)
 	if err != nil {
-		return n, err
+		return n, resp.StatusCode, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return n, fmt.Errorf("status %d", resp.StatusCode)
-	}
-	return n, nil
+	return n, resp.StatusCode, nil
 }
 
 func printSummary(report *benchio.Report) {

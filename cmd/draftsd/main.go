@@ -69,6 +69,12 @@ type options struct {
 	stateDir       string // durable WAL + snapshot state (-data-dir)
 	fsync          string
 	pprofOn        bool
+
+	maxConcurrent int
+	maxQueue      int
+	queueWait     time.Duration
+	adviseBudget  time.Duration
+	maxStaleness  time.Duration
 }
 
 func main() {
@@ -83,6 +89,11 @@ func main() {
 	flag.StringVar(&opts.stateDir, "data-dir", "", "durable state directory (WAL + snapshots); empty disables persistence")
 	flag.StringVar(&opts.fsync, "fsync", "interval", "WAL durability policy: always, interval, or none")
 	flag.BoolVar(&opts.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.IntVar(&opts.maxConcurrent, "max-concurrent", 256, "in-flight /v1 request cap; 0 disables admission control")
+	flag.IntVar(&opts.maxQueue, "max-queue", 0, "admission wait-queue depth (0 = same as -max-concurrent)")
+	flag.DurationVar(&opts.queueWait, "queue-wait", 0, "max time a request may queue for admission (0 = 1s)")
+	flag.DurationVar(&opts.adviseBudget, "advise-budget", 2*time.Second, "per-request compute budget for /v1/advise scans")
+	flag.DurationVar(&opts.maxStaleness, "max-staleness", 2*time.Hour, "oldest tables the daemon will serve; beyond this /v1 reads fail 503")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
@@ -130,6 +141,11 @@ func run(logger *slog.Logger, opts options) error {
 		RefreshWorkers: opts.refreshWorkers,
 		Logger:         logger,
 		Metrics:        reg,
+		MaxConcurrent:  opts.maxConcurrent,
+		MaxQueue:       opts.maxQueue,
+		QueueWait:      opts.queueWait,
+		AdviseBudget:   opts.adviseBudget,
+		MaxStaleness:   opts.maxStaleness,
 	}
 	if durable != nil {
 		cfg.Durable = durable

@@ -199,6 +199,7 @@ func Analyzers() []*Analyzer {
 		ErrDrop,
 		MetricSlot,
 		MapOrder,
+		FaultGate,
 	}
 }
 

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FaultGate keeps fault injection out of production defaults: the chaos
+// hooks in internal/store, internal/service and internal/pricegen all
+// accept a *faults.Set, and the only places allowed to construct one are
+// the faults package itself and test files (which the loader skips).
+// Production wiring paths — cmd/draftsd building its Config, a library
+// defaulting an Options struct — must leave the field nil, so a deploy
+// can never ship with an injector armed. Accepting an injector built by a
+// caller stays legal everywhere; constructing one does not.
+var FaultGate = &Analyzer{
+	Name: "faultgate",
+	Doc: "forbid constructing faults.Set outside internal/faults and test " +
+		"files; production code receives injectors, it never creates them",
+	Allow: []string{
+		"internal/faults",
+	},
+	Run: runFaultGate,
+}
+
+func runFaultGate(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := pass.CalleeFunc(n)
+				if fn == nil || fn.Name() != "New" || !isFaultsPkg(fn.Pkg()) {
+					return true
+				}
+				if !isPkgFunc(fn, fn.Pkg().Path()) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"faults.New constructs a fault injector in production code; "+
+						"build the Set in a test and pass it in")
+			case *ast.CompositeLit:
+				// &faults.Set{} would bypass the constructor (and its
+				// seeding) but still arms injection.
+				named, ok := pass.TypeOf(n).(*types.Named)
+				if !ok || named.Obj().Name() != "Set" || !isFaultsPkg(named.Obj().Pkg()) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"faults.Set literal arms fault injection in production code; "+
+						"build the Set in a test and pass it in")
+			}
+			return true
+		})
+	}
+}
+
+// isFaultsPkg reports whether pkg is the module's fault-injection package.
+func isFaultsPkg(pkg *types.Package) bool {
+	return pkg != nil && strings.HasSuffix(pkg.Path(), "/internal/faults")
+}

@@ -1,0 +1,17 @@
+// Package fixture holds compliant fault-injection wiring: production code
+// accepts an injector built elsewhere (a test) and threads it through;
+// the default is nil, which disables every hook.
+package fixture
+
+import "github.com/drafts-go/drafts/internal/faults"
+
+// Options mirrors a production config struct with a chaos hook that
+// defaults to off.
+type Options struct {
+	Faults *faults.Set
+}
+
+// Open receives the caller's injector — possibly nil — and consults it.
+func Open(opt Options) error {
+	return opt.Faults.Check("fixture.open")
+}

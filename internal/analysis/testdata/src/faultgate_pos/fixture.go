@@ -1,0 +1,20 @@
+// Package fixture exercises faultgate: production code constructing a
+// fault injector instead of receiving one.
+package fixture
+
+import "github.com/drafts-go/drafts/internal/faults"
+
+// Options mirrors a production config struct with a chaos hook.
+type Options struct {
+	Faults *faults.Set
+}
+
+func DefaultOptions() Options {
+	return Options{
+		Faults: faults.New(42), // want faultgate "faults.New constructs a fault injector in production code"
+	}
+}
+
+func Armed() *faults.Set {
+	return &faults.Set{} // want faultgate "faults.Set literal arms fault injection in production code"
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -175,6 +176,16 @@ func (p *Predictor) Table() (BidTable, bool) {
 // even that cannot promise d — the caller should fall back to a reliable
 // (On-demand) instance, per the §4.4 cost-optimization strategy.
 func (p *Predictor) Advise(d time.Duration) (Quote, error) {
+	return p.AdviseContext(context.Background(), d)
+}
+
+// AdviseContext is Advise under a deadline: the bid-escalation scan checks
+// ctx between escalation steps (each step runs a full duration-bound scan
+// over the retained history, the expensive unit of work) and returns
+// ctx.Err() wrapped as soon as the budget is exhausted. The service's
+// request-deadline propagation relies on this being the only unbounded
+// loop on the query path.
+func (p *Predictor) AdviseContext(ctx context.Context, d time.Duration) (Quote, error) {
 	mAdviseCalls.Load().Inc()
 	if d <= 0 {
 		return Quote{}, fmt.Errorf("core: non-positive duration %v", d)
@@ -197,6 +208,9 @@ func (p *Predictor) Advise(d time.Duration) (Quote, error) {
 	escalated := false
 	var last Quote
 	for bid := bid0; ; bid *= p.params.TableRatio {
+		if err := ctx.Err(); err != nil {
+			return last, fmt.Errorf("core: advise abandoned at bid %.4f: %w", last.Bid, err)
+		}
 		tb := spot.RoundToTick(bid)
 		if tb > ceiling {
 			tb = ceiling

@@ -1,0 +1,193 @@
+// Package faults is a deterministic, seedable fault-injection harness.
+//
+// Production code threads an optional *Set through its options struct and
+// consults it at named operation points ("wal.append", "snapshot.write",
+// "service.refresh", ...). A nil *Set is the production default: every
+// method on a nil receiver is a no-op that returns the zero value, so the
+// injection points cost one nil check when chaos testing is off.
+//
+// Tests construct a Set with New, arm it with Enable, and get reproducible
+// failure schedules: rules fire by call count (After/Count/Every) or by
+// seeded coin flip (Prob), never by wall clock, so a chaos scenario is an
+// ordinary deterministic unit test.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned by an armed rule that does not
+// specify its own.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Fault describes the injected outcome of one operation call.
+type Fault struct {
+	// Err is the error the operation should return, if any.
+	Err error
+	// PartialFrac, when in (0,1), directs the operation to perform only
+	// that fraction of its write before failing — the torn-write /
+	// partial-write chaos case. The operation decides what "fraction"
+	// means (bytes of a frame, bytes of a snapshot payload).
+	PartialFrac float64
+}
+
+// Rule arms fault injection for one named operation.
+type Rule struct {
+	// Op names the operation point, e.g. "wal.fsync".
+	Op string
+	// Err is returned from Check/Apply when the rule fires. When zero and
+	// the rule has no other effect, ErrInjected is used.
+	Err error
+	// Latency is slept before the outcome is reported, when the rule fires.
+	Latency time.Duration
+	// PartialFrac, when in (0,1), marks fired faults as partial writes.
+	PartialFrac float64
+	// After skips the first After eligible calls before the rule may fire.
+	After int
+	// Count limits how many times the rule fires (0 = unlimited).
+	Count int
+	// Every fires the rule on every Every-th eligible call (0 or 1 =
+	// every call).
+	Every int
+	// Prob, when in (0,1), gates each otherwise-eligible firing on a
+	// seeded coin flip. 0 means fire deterministically.
+	Prob float64
+}
+
+// ruleState pairs a rule with its call accounting.
+type ruleState struct {
+	rule  Rule
+	calls int // eligible calls seen
+	fired int // times the rule actually fired
+}
+
+// Set is a collection of armed rules sharing one seeded RNG. The zero
+// value is unusable; construct with New. All methods are safe for
+// concurrent use and safe on a nil receiver.
+type Set struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string]*ruleState
+	sleep func(time.Duration)
+}
+
+// New returns an empty Set whose probabilistic rules draw from a
+// deterministic stream seeded with seed.
+func New(seed int64) *Set {
+	return &Set{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[string]*ruleState),
+		sleep: time.Sleep,
+	}
+}
+
+// Enable arms (or replaces) the rule for r.Op, resetting its counters.
+func (s *Set) Enable(r Rule) {
+	if s == nil {
+		return
+	}
+	if r.Op == "" {
+		panic("faults: rule without an operation name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules[r.Op] = &ruleState{rule: r}
+}
+
+// Disable removes the rule for op, if any.
+func (s *Set) Disable(op string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.rules, op)
+}
+
+// Reset removes every rule.
+func (s *Set) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = make(map[string]*ruleState)
+}
+
+// Fired reports how many times op's rule has fired.
+func (s *Set) Fired(op string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.rules[op]; ok {
+		return st.fired
+	}
+	return 0
+}
+
+// Apply consults the rule for op, applies any injected latency, and
+// reports the fault to perform. ok is false when no rule fires — the
+// production path. Safe on a nil receiver.
+func (s *Set) Apply(op string) (f Fault, ok bool) {
+	if s == nil {
+		return Fault{}, false
+	}
+	s.mu.Lock()
+	st, present := s.rules[op]
+	if !present {
+		s.mu.Unlock()
+		return Fault{}, false
+	}
+	r := st.rule
+	st.calls++
+	if st.calls <= r.After {
+		s.mu.Unlock()
+		return Fault{}, false
+	}
+	if r.Count > 0 && st.fired >= r.Count {
+		s.mu.Unlock()
+		return Fault{}, false
+	}
+	if r.Every > 1 && (st.calls-r.After)%r.Every != 0 {
+		s.mu.Unlock()
+		return Fault{}, false
+	}
+	if r.Prob > 0 && r.Prob < 1 && s.rng.Float64() >= r.Prob {
+		s.mu.Unlock()
+		return Fault{}, false
+	}
+	st.fired++
+	sleep := s.sleep
+	s.mu.Unlock()
+
+	if r.Latency > 0 {
+		sleep(r.Latency)
+	}
+	f = Fault{PartialFrac: r.PartialFrac}
+	if r.Err != nil {
+		f.Err = r.Err
+	} else if r.PartialFrac <= 0 || r.PartialFrac >= 1 {
+		// A rule with no explicit effect still injects a failure.
+		f.Err = ErrInjected
+	} else {
+		// Partial writes fail with a descriptive wrapper by default.
+		f.Err = fmt.Errorf("%w: partial write (%.0f%%)", ErrInjected, r.PartialFrac*100)
+	}
+	return f, true
+}
+
+// Check is the common error-only injection point: it returns the fired
+// fault's error, or nil when no rule fires. Safe on a nil receiver.
+func (s *Set) Check(op string) error {
+	f, ok := s.Apply(op)
+	if !ok {
+		return nil
+	}
+	return f.Err
+}

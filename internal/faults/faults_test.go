@@ -1,0 +1,160 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsNoOp(t *testing.T) {
+	var s *Set
+	if err := s.Check("anything"); err != nil {
+		t.Fatalf("nil Set Check = %v, want nil", err)
+	}
+	if _, ok := s.Apply("anything"); ok {
+		t.Fatal("nil Set Apply fired")
+	}
+	if n := s.Fired("anything"); n != 0 {
+		t.Fatalf("nil Set Fired = %d", n)
+	}
+	// These must not panic.
+	s.Enable(Rule{Op: "x"})
+	s.Disable("x")
+	s.Reset()
+}
+
+func TestUnarmedOpNeverFires(t *testing.T) {
+	s := New(1)
+	s.Enable(Rule{Op: "wal.fsync"})
+	for i := 0; i < 10; i++ {
+		if err := s.Check("wal.append"); err != nil {
+			t.Fatalf("unarmed op fired: %v", err)
+		}
+	}
+	if err := s.Check("wal.fsync"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed op Check = %v, want ErrInjected", err)
+	}
+}
+
+func TestAfterCountEvery(t *testing.T) {
+	s := New(1)
+	s.Enable(Rule{Op: "op", After: 2, Count: 3, Every: 2})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if err := s.Check("op"); err != nil {
+			fired = append(fired, i)
+		}
+	}
+	// Calls 1,2 skipped by After; eligible calls 3,4,5,... numbered 1,2,3...
+	// Every=2 fires eligible calls 2,4,6 -> absolute calls 4,6,8; Count=3 stops there.
+	want := []int{4, 6, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on calls %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on calls %v, want %v", fired, want)
+		}
+	}
+	if n := s.Fired("op"); n != 3 {
+		t.Fatalf("Fired = %d, want 3", n)
+	}
+}
+
+func TestCustomErrorAndDisable(t *testing.T) {
+	boom := errors.New("boom")
+	s := New(1)
+	s.Enable(Rule{Op: "op", Err: boom})
+	if err := s.Check("op"); !errors.Is(err, boom) {
+		t.Fatalf("Check = %v, want boom", err)
+	}
+	s.Disable("op")
+	if err := s.Check("op"); err != nil {
+		t.Fatalf("Check after Disable = %v, want nil", err)
+	}
+}
+
+func TestProbIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		s := New(seed)
+		s.Enable(Rule{Op: "op", Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Check("op") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// A 0.5 rule over 64 calls fires sometimes but not always.
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 64 {
+		t.Fatalf("Prob=0.5 fired %d/64 times", fired)
+	}
+}
+
+func TestPartialWriteFault(t *testing.T) {
+	s := New(1)
+	s.Enable(Rule{Op: "snapshot.write", PartialFrac: 0.5})
+	f, ok := s.Apply("snapshot.write")
+	if !ok {
+		t.Fatal("rule did not fire")
+	}
+	if f.PartialFrac != 0.5 {
+		t.Fatalf("PartialFrac = %v, want 0.5", f.PartialFrac)
+	}
+	if !errors.Is(f.Err, ErrInjected) {
+		t.Fatalf("partial fault Err = %v, want ErrInjected", f.Err)
+	}
+}
+
+func TestLatencyUsesSleeper(t *testing.T) {
+	s := New(1)
+	var slept time.Duration
+	s.sleep = func(d time.Duration) { slept += d }
+	s.Enable(Rule{Op: "op", Latency: 25 * time.Millisecond, Err: ErrInjected})
+	if err := s.Check("op"); err == nil {
+		t.Fatal("rule did not fire")
+	}
+	if slept != 25*time.Millisecond {
+		t.Fatalf("slept %v, want 25ms", slept)
+	}
+}
+
+func TestEnableResetsCounters(t *testing.T) {
+	s := New(1)
+	s.Enable(Rule{Op: "op", Count: 1})
+	if err := s.Check("op"); err == nil {
+		t.Fatal("first arm did not fire")
+	}
+	if err := s.Check("op"); err != nil {
+		t.Fatal("Count=1 fired twice")
+	}
+	s.Enable(Rule{Op: "op", Count: 1}) // re-arm resets
+	if err := s.Check("op"); err == nil {
+		t.Fatal("re-armed rule did not fire")
+	}
+	if n := s.Fired("op"); n != 1 {
+		t.Fatalf("Fired after re-arm = %d, want 1", n)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/drafts-go/drafts/internal/faults"
 	"github.com/drafts-go/drafts/internal/history"
 	"github.com/drafts-go/drafts/internal/spot"
 	"github.com/drafts-go/drafts/internal/stats"
@@ -174,6 +175,10 @@ func ArchetypeFor(c spot.Combo) Archetype {
 // Generator produces price series deterministically from a master seed.
 type Generator struct {
 	Seed int64
+	// Faults optionally injects failures at the "pricegen.continue"
+	// operation point — the live extension path a refresh outage chaos
+	// test interrupts. nil disables injection.
+	Faults *faults.Set
 }
 
 // comboSeed derives the per-combo RNG seed.
@@ -379,6 +384,9 @@ func (g Generator) Populate(st *history.Store, combos []spot.Combo, start time.T
 // which is what lets a restarted daemon extend a WAL-recovered history
 // without forking the market's trajectory.
 func (g Generator) Continue(c spot.Combo, start time.Time, have, n int) (*history.Series, error) {
+	if err := g.Faults.Check("pricegen.continue"); err != nil {
+		return nil, fmt.Errorf("pricegen: continuing %v: %w", c, err)
+	}
 	if have < 0 {
 		return nil, fmt.Errorf("pricegen: negative prefix length %d", have)
 	}

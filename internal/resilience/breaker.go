@@ -1,0 +1,149 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// Closed: operations run normally; failures are counted.
+	Closed BreakerState = iota
+	// Open: operations are suppressed until the caller probes.
+	Open
+	// HalfOpen: one probe operation is in flight; its outcome decides.
+	HalfOpen
+)
+
+// String returns the conventional lowercase spelling.
+func (s BreakerState) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Breaker is a consecutive-failure circuit breaker expressed as a pure
+// state machine: it never reads the clock or sleeps. The caller reports
+// outcomes with Failure/Success, asks Backoff how long to wait while Open,
+// sleeps on its own timer, then calls Probe and attempts one operation.
+//
+// Backoff is exponential in the number of consecutive failed probes
+// (base, 2*base, 4*base, ... capped at max) with ±50% jitter drawn from a
+// seeded RNG, mirroring the client's retry jitter.
+type Breaker struct {
+	threshold int
+	base, max time.Duration
+
+	state atomic.Int32
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	consecutive int // failures since the last success, while Closed
+	trips       int // consecutive failed open periods (backoff exponent)
+}
+
+// NewBreaker returns a Closed breaker that trips after threshold
+// consecutive failures and backs off exponentially from base to max.
+func NewBreaker(threshold int, base, max time.Duration, seed int64) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if base <= 0 {
+		base = time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &Breaker{
+		threshold: threshold,
+		base:      base,
+		max:       max,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// State returns the current position without locking; safe from any
+// goroutine (healthz reads it per request).
+func (b *Breaker) State() BreakerState {
+	return BreakerState(b.state.Load())
+}
+
+// Failure records a failed operation and reports whether this call
+// tripped the breaker open (either from Closed by reaching the threshold,
+// or by a failed HalfOpen probe).
+func (b *Breaker) Failure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch BreakerState(b.state.Load()) {
+	case HalfOpen:
+		b.trips++
+		b.state.Store(int32(Open))
+		return true
+	case Open:
+		return false
+	default: // Closed
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.trips = 1
+			b.state.Store(int32(Open))
+			return true
+		}
+		return false
+	}
+}
+
+// Success records a successful operation and closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.trips = 0
+	b.state.Store(int32(Closed))
+}
+
+// Probe transitions Open to HalfOpen and reports whether the caller may
+// attempt one operation. It returns false unless the breaker is Open.
+func (b *Breaker) Probe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if BreakerState(b.state.Load()) != Open {
+		return false
+	}
+	b.state.Store(int32(HalfOpen))
+	return true
+}
+
+// Backoff returns the jittered delay to wait before the next probe of the
+// current open period: exp(trips) in [d/2, 3d/2) where d = min(base <<
+// (trips-1), max). It returns 0 when the breaker is not Open.
+func (b *Breaker) Backoff() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if BreakerState(b.state.Load()) != Open {
+		return 0
+	}
+	d := b.base
+	for i := 1; i < b.trips && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	return d/2 + time.Duration(b.rng.Int63n(int64(d)))
+}
+
+// ConsecutiveFailures reports the failure streak while Closed (0 once
+// tripped or after a success); healthz surfaces it.
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecutive
+}

@@ -178,7 +178,13 @@ func etagMatches(header, etag string) bool {
 // writeBlob serves one pre-encoded body with ETag revalidation. The blob
 // must not include its trailing newline; writeBlob appends it so responses
 // stay byte-identical with the json.Encoder output of the marshal path.
+// The serve-stale policy applies first: a degraded epoch is marked with
+// X-Drafts-Staleness, and one beyond MaxStaleness is refused — both off
+// the fresh-epoch fast path, which stays allocation-free.
 func (s *Server) writeBlob(w http.ResponseWriter, r *http.Request, et *encodedTables, body []byte) {
+	if !s.checkStaleness(w, et.asOf) {
+		return
+	}
 	h := w.Header()
 	h["Etag"] = et.etagH
 	h["Content-Type"] = jsonCTHeader
@@ -258,7 +264,10 @@ func (s *Server) handleCombos(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	et := s.blobs.Load()
 	if et == nil {
-		writeErr(w, http.StatusServiceUnavailable, "no tables computed yet")
+		writeErr(w, http.StatusServiceUnavailable, codeStale, "no tables computed yet")
+		return
+	}
+	if !s.checkStaleness(w, et.asOf) {
 		return
 	}
 	q := r.URL.RawQuery
@@ -272,13 +281,13 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		prob = vals.Get("probability")
 	}
 	if combosParam == "" {
-		writeErr(w, http.StatusBadRequest, "combos is required (comma-separated zone/type pairs)")
+		writeErr(w, http.StatusBadRequest, codeInvalidArgument, "combos is required (comma-separated zone/type pairs)")
 		return
 	}
 	if prob == "" {
 		prob = defaultProbKey
 	} else if f, err := strconv.ParseFloat(prob, 64); err != nil || !(f > 0 && f < 1) {
-		writeErr(w, http.StatusBadRequest, "invalid probability %q", prob)
+		writeErr(w, http.StatusBadRequest, codeInvalidArgument, "invalid probability %q", prob)
 		return
 	}
 
@@ -294,16 +303,16 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		}
 		zone, typ, ok := strings.Cut(part, "/")
 		if !ok || zone == "" || typ == "" {
-			writeErr(w, http.StatusBadRequest, "combo %q must be zone/type", part)
+			writeErr(w, http.StatusBadRequest, codeInvalidArgument, "combo %q must be zone/type", part)
 			return
 		}
 		if _, ok := et.lookupBlob(zone, typ, prob); !ok {
-			writeErr(w, http.StatusNotFound, "no table for %s/%s at probability %s", zone, typ, prob)
+			writeErr(w, http.StatusNotFound, codeNotFound, "no table for %s/%s at probability %s", zone, typ, prob)
 			return
 		}
 		n++
 		if n > maxBatchCombos {
-			writeErr(w, http.StatusBadRequest, "too many combos (limit %d)", maxBatchCombos)
+			writeErr(w, http.StatusBadRequest, codeInvalidArgument, "too many combos (limit %d)", maxBatchCombos)
 			return
 		}
 	}
@@ -351,7 +360,13 @@ func (s *Server) handlePredictionsMarshal(w http.ResponseWriter, r *http.Request
 	}
 	table, ok := s.table(combo, prob)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no table for %s at probability %v", combo, prob)
+		writeErr(w, http.StatusNotFound, codeNotFound, "no table for %s at probability %v", combo, prob)
+		return
+	}
+	s.mu.RLock()
+	asOf := s.asOf
+	s.mu.RUnlock()
+	if !s.checkStaleness(w, asOf) {
 		return
 	}
 	// Answer under the client's own zone name.
@@ -366,7 +381,11 @@ func (s *Server) handleCombosMarshal(w http.ResponseWriter, _ *http.Request) {
 	for k := range s.tables {
 		seen[k.combo] = true
 	}
+	asOf := s.asOf
 	s.mu.RUnlock()
+	if !s.checkStaleness(w, asOf) {
+		return
+	}
 	out := make([]comboJSON, 0, len(seen))
 	for c := range seen {
 		out = append(out, comboJSON{Zone: string(c.Zone), InstanceType: string(c.Type)})
@@ -392,10 +411,7 @@ func (s *Server) MarshalHandler() http.Handler {
 	mux.HandleFunc("GET /v1/combos", s.handleCombosMarshal)
 	mux.HandleFunc("GET /v1/predictions", s.handlePredictionsMarshal)
 	mux.HandleFunc("GET /v1/advise", s.handleAdvise)
-	if !s.metrics.on {
-		return mux
-	}
-	return s.instrument(mux)
+	return s.wrap(mux)
 }
 
 // blobSnapshotEqual is a test hook: it reports whether the currently

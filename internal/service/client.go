@@ -2,7 +2,9 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -27,9 +29,11 @@ type Client struct {
 	// when HTTPClient is set.
 	Timeout time.Duration
 	// Retries is how many extra attempts follow a retryable failure — a
-	// transport error or a 502/503/504 — before giving up. Each retry backs
-	// off exponentially from RetryBackoff with ±50% jitter. Application
-	// errors (4xx, 5xx other than the gateway trio) never retry.
+	// transport error, an "overloaded" or "stale" API error, or a
+	// 502/503/504 — before giving up. Each retry backs off exponentially
+	// from RetryBackoff with ±50% jitter, never sleeping less than the
+	// server's Retry-After hint. Application errors (4xx, 5xx other than
+	// the above) never retry.
 	Retries int
 	// RetryBackoff is the base delay before the first retry (default
 	// 250ms).
@@ -52,26 +56,79 @@ func (c *Client) http() *http.Client {
 	return &http.Client{Timeout: timeout}
 }
 
-// statusError is a non-200 response; it keeps the status code so the retry
-// loop can distinguish gateway failures from application errors.
-type statusError struct {
-	code int
-	msg  string
+// APIError is a non-200 response from the service, decoded from the v1
+// error envelope when one is present. Callers unwrap it with errors.As and
+// switch on Code (the closed vocabulary documented in errors.go) rather
+// than parsing message text; RequestID ties the failure to the server-side
+// log line that explains it.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable error code ("invalid_argument",
+	// "not_found", "overloaded", "stale", "internal"), empty when the
+	// response carried no envelope (a proxy's bare 502, an old server).
+	Code string
+	// Message is the human-readable description.
+	Message string
+	// RequestID echoes the X-Request-ID the server assigned, when present.
+	RequestID string
+	// RetryAfter is the server's Retry-After hint, zero when absent.
+	RetryAfter time.Duration
 }
 
-func (e *statusError) Error() string { return e.msg }
+func (e *APIError) Error() string {
+	var b strings.Builder
+	b.WriteString("service client: ")
+	b.WriteString(strconv.Itoa(e.Status))
+	b.WriteByte(' ')
+	b.WriteString(http.StatusText(e.Status))
+	if e.Code != "" {
+		b.WriteString(" (")
+		b.WriteString(e.Code)
+		b.WriteByte(')')
+	}
+	if e.Message != "" {
+		b.WriteString(": ")
+		b.WriteString(e.Message)
+	}
+	if e.RequestID != "" {
+		b.WriteString(" [request ")
+		b.WriteString(e.RequestID)
+		b.WriteByte(']')
+	}
+	return b.String()
+}
 
 // retryable reports whether err is worth another attempt: transport-level
-// failures (connection refused, timeout — the *url.Error wrapping) and the
-// gateway statuses a restarting or overloaded service returns.
+// failures (connection refused, timeout — the *url.Error wrapping), API
+// errors that name a transient condition ("overloaded" admission shed,
+// "stale" cold start — both clear on their own), and the bare gateway
+// statuses a proxy in front of a restarting service returns.
 func retryable(err error) bool {
-	if se, ok := err.(*statusError); ok {
-		return se.code == http.StatusBadGateway ||
-			se.code == http.StatusServiceUnavailable ||
-			se.code == http.StatusGatewayTimeout
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.Code {
+		case codeOverloaded, codeStale:
+			return true
+		case "":
+			return ae.Status == http.StatusBadGateway ||
+				ae.Status == http.StatusServiceUnavailable ||
+				ae.Status == http.StatusGatewayTimeout
+		}
+		return false
 	}
 	_, transport := err.(*url.Error)
 	return transport
+}
+
+// retryAfter extracts the server's Retry-After floor from err, zero when
+// none applies.
+func retryAfter(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
 }
 
 func (c *Client) get(path string, query url.Values, out any) error {
@@ -99,12 +156,18 @@ func (c *Client) get(path string, query url.Values, out any) error {
 			return lastErr
 		}
 		// Exponential backoff with ±50% jitter so a fleet of clients
-		// retrying against a restarting service doesn't stampede it.
+		// retrying against a restarting service doesn't stampede it. The
+		// server's Retry-After hint is a floor, never a ceiling: backing
+		// off longer than asked is always safe.
 		d := backoff << attempt
 		if rng == nil {
 			rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 		}
-		sleep(d/2 + time.Duration(rng.Int63n(int64(d))))
+		wait := d/2 + time.Duration(rng.Int63n(int64(d)))
+		if floor := retryAfter(lastErr); wait < floor {
+			wait = floor
+		}
+		sleep(wait)
 	}
 }
 
@@ -115,17 +178,50 @@ func (c *Client) getOnce(target string, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return &statusError{code: resp.StatusCode,
-				msg: fmt.Sprintf("service client: %s: %s", resp.Status, e.Error)}
-		}
-		return &statusError{code: resp.StatusCode,
-			msg: fmt.Sprintf("service client: %s", resp.Status)}
+		return decodeAPIError(resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError builds the *APIError for a non-200 response. It decodes
+// the v1 envelope, falls back to the pre-envelope {"error": "..."} shape
+// older servers emit, and degrades to status-only for non-JSON bodies (a
+// proxy's HTML 502 page). The body read is bounded: an error response is
+// small by construction.
+func decodeAPIError(resp *http.Response) *APIError {
+	ae := &APIError{
+		Status:    resp.StatusCode,
+		RequestID: resp.Header.Get(requestIDHeader),
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err != nil {
+		return ae
+	}
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if json.Unmarshal(body, &env) != nil || len(env.Error) == 0 {
+		return ae
+	}
+	var det errorDetail
+	if json.Unmarshal(env.Error, &det) == nil && (det.Code != "" || det.Message != "") {
+		ae.Code = det.Code
+		ae.Message = det.Message
+		if ae.RequestID == "" {
+			ae.RequestID = det.RequestID
+		}
+		return ae
+	}
+	var legacy string
+	if json.Unmarshal(env.Error, &legacy) == nil {
+		ae.Message = legacy
+	}
+	return ae
 }
 
 // Combos lists every (zone, type) the service has tables for.

@@ -1,8 +1,10 @@
 package service
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -12,7 +14,7 @@ func TestClientRetriesGatewayErrors(t *testing.T) {
 	var calls atomic.Int32
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if calls.Add(1) < 3 {
-			writeErr(w, http.StatusServiceUnavailable, "restarting")
+			writeErr(w, http.StatusServiceUnavailable, codeOverloaded, "restarting")
 			return
 		}
 		writeJSON(w, http.StatusOK, []comboJSON{{Zone: "us-east-1a", InstanceType: "m3.medium"}})
@@ -73,7 +75,7 @@ func TestClientDoesNotRetryApplicationErrors(t *testing.T) {
 	var calls atomic.Int32
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		calls.Add(1)
-		writeErr(w, http.StatusNotFound, "no such combo")
+		writeErr(w, http.StatusNotFound, codeNotFound, "no such combo")
 	}))
 	defer ts.Close()
 
@@ -94,13 +96,126 @@ func TestClientZeroRetriesSingleAttempt(t *testing.T) {
 	var calls atomic.Int32
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		calls.Add(1)
-		writeErr(w, http.StatusServiceUnavailable, "down")
+		writeErr(w, http.StatusServiceUnavailable, codeOverloaded, "down")
 	}))
 	defer ts.Close()
 
 	c := &Client{BaseURL: ts.URL}
 	if _, err := c.Combos(); err == nil {
 		t.Fatal("Combos succeeded on 503")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", calls.Load())
+	}
+}
+
+func TestClientDecodesAPIError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(requestIDHeader, "req-123")
+		writeErr(w, http.StatusNotFound, codeNotFound, "no such combo")
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	_, err := c.Combos()
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v (%T) is not an *APIError", err, err)
+	}
+	if ae.Status != http.StatusNotFound || ae.Code != codeNotFound {
+		t.Fatalf("APIError = %+v, want status 404 code %q", ae, codeNotFound)
+	}
+	if ae.Message != "no such combo" {
+		t.Fatalf("message %q, want %q", ae.Message, "no such combo")
+	}
+	if ae.RequestID != "req-123" {
+		t.Fatalf("request ID %q, want req-123", ae.RequestID)
+	}
+	for _, want := range []string{"404", codeNotFound, "no such combo", "req-123"} {
+		if !strings.Contains(ae.Error(), want) {
+			t.Errorf("Error() = %q missing %q", ae.Error(), want)
+		}
+	}
+}
+
+func TestClientRetryAfterIsBackoffFloor(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			writeErr(w, http.StatusServiceUnavailable, codeOverloaded, "request shed")
+			return
+		}
+		writeJSON(w, http.StatusOK, []comboJSON{{Zone: "us-east-1a", InstanceType: "m3.medium"}})
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		BaseURL: ts.URL,
+		Retries: 1,
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	if _, err := c.Combos(); err != nil {
+		t.Fatalf("Combos after retry: %v", err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("client slept %d times, want 1", len(slept))
+	}
+	// The jittered backoff (at most 375ms on the first attempt) must be
+	// raised to the server's 7s Retry-After floor.
+	if slept[0] < 7*time.Second {
+		t.Fatalf("slept %v, want at least the 7s Retry-After floor", slept[0])
+	}
+}
+
+func TestClientDecodesLegacyErrorFormat(t *testing.T) {
+	// A pre-envelope server answers {"error": "<text>"}; the client must
+	// still produce an APIError (code empty) and retry 503s by status.
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"no tables computed yet"}` + "\n"))
+	}))
+	defer ts.Close()
+
+	c := &Client{
+		BaseURL: ts.URL,
+		Retries: 1,
+		sleep:   func(time.Duration) {},
+	}
+	_, err := c.Combos()
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v (%T) is not an *APIError", err, err)
+	}
+	if ae.Code != "" || ae.Message != "no tables computed yet" {
+		t.Fatalf("APIError = %+v, want empty code and legacy message", ae)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2 (bare 503 retries by status)", calls.Load())
+	}
+}
+
+func TestClientDoesNotRetryEnvelopedInternal(t *testing.T) {
+	// A 503 with a non-transient code would be odd, but an enveloped 500
+	// "internal" must not retry: the envelope's code is authoritative.
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeErr(w, http.StatusInternalServerError, codeInternal, "handler panic")
+	}))
+	defer ts.Close()
+
+	c := &Client{
+		BaseURL: ts.URL,
+		Retries: 3,
+		sleep:   func(time.Duration) { t.Fatal("slept on a non-retryable error") },
+	}
+	if _, err := c.Combos(); err == nil {
+		t.Fatal("Combos succeeded on a 500")
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("server saw %d requests, want 1", calls.Load())

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// The v1 API reports every error as one uniform JSON envelope:
+//
+//	{"error":{"code":"...","message":"...","request_id":"..."}}
+//
+// The code vocabulary is closed — clients switch on it, not on message
+// text — and HTTP statuses carry the same meaning they always did; the
+// code refines, never contradicts, the status:
+//
+//	invalid_argument  400, 403   malformed parameters, unknown account
+//	not_found         404, 409   no such table/predictor, or no bid can
+//	                             guarantee the requested duration
+//	overloaded        503        admission control shed the request or the
+//	                             server-side compute budget expired;
+//	                             Retry-After is always set
+//	stale             503        no tables yet (cold start) or the tables
+//	                             aged past the configured max staleness
+//	internal          500        handler panic or other server defect
+//
+// request_id echoes the X-Request-ID the middleware assigned (or the
+// caller supplied); it is omitted on bare handlers wired without the
+// middleware, e.g. in tests.
+const (
+	codeInvalidArgument = "invalid_argument"
+	codeNotFound        = "not_found"
+	codeOverloaded      = "overloaded"
+	codeStale           = "stale"
+	codeInternal        = "internal"
+)
+
+// errorDetail is the envelope's payload.
+type errorDetail struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// errorEnvelope is the uniform v1 error body.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+// writeErr emits the uniform error envelope. The request ID is read back
+// from the response header the middleware stamped, so handlers never
+// thread it explicitly; bare handlers (no middleware) omit the field.
+func writeErr(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(requestIDHeader),
+	}})
+}

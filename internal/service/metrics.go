@@ -5,7 +5,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	"github.com/drafts-go/drafts/internal/telemetry"
 )
@@ -33,6 +32,11 @@ type serviceMetrics struct {
 	encodeDuration *telemetry.Histogram
 	blobBytes      *telemetry.Gauge
 	batchCombos    *telemetry.Histogram
+
+	shed           *telemetry.CounterVec // route
+	staleResponses *telemetry.Counter
+	adviseDeadline *telemetry.Counter
+	breakerState   *telemetry.Gauge
 }
 
 func newServiceMetrics(r *telemetry.Registry) *serviceMetrics {
@@ -70,45 +74,35 @@ func newServiceMetrics(r *telemetry.Registry) *serviceMetrics {
 		batchCombos: r.Histogram("drafts_batch_combos",
 			"Combos requested per /v1/tables batch request.",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+		shed: r.CounterVec("drafts_http_shed_total",
+			"Requests refused by admission control (503 overloaded), by route.", "route"),
+		staleResponses: r.Counter("drafts_stale_responses_total",
+			"Reads served from tables older than the degraded threshold."),
+		adviseDeadline: r.Counter("drafts_advise_deadline_total",
+			"/v1/advise requests abandoned at the server-side compute budget."),
+		breakerState: r.Gauge("drafts_refresh_breaker_state",
+			"Refresh circuit breaker position: 0 closed, 1 open, 2 half-open."),
 	}
 }
 
-// statusWriter captures the status code a handler writes. Handlers here
-// only use Header/Write/WriteHeader, so no other interfaces are forwarded.
-// Instances are pooled so the instrumented hot path does not allocate a
-// wrapper per request.
+// statusWriter captures the status code a handler writes, and whether it
+// wrote one at all (the panic-containment path needs to know). Handlers
+// here only use Header/Write/WriteHeader, so no other interfaces are
+// forwarded. Instances are pooled so the instrumented hot path does not
+// allocate a wrapper per request.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
-
-// instrument wraps the route mux with request counting and latency
-// recording. The route label comes from the mux's own pattern match, so
-// high-cardinality request paths collapse to the registered routes plus
-// "other" for misses.
-func (s *Server) instrument(mux *http.ServeMux) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		began := time.Now()
-		_, pattern := mux.Handler(r)
-		route := routeLabel(pattern)
-		sw := statusWriterPool.Get().(*statusWriter)
-		sw.ResponseWriter = w
-		sw.status = http.StatusOK
-		mux.ServeHTTP(sw, r)
-		status := sw.status
-		sw.ResponseWriter = nil
-		statusWriterPool.Put(sw)
-		s.metrics.requests.With(route, statusClass(status)).Inc()
-		s.metrics.latency.With(route).Observe(time.Since(began).Seconds())
-	})
-}
 
 // routeLabel strips the method from a ServeMux pattern ("GET /healthz" ->
 // "/healthz"); unmatched requests collapse to "other".

@@ -90,6 +90,7 @@ type healthBody struct {
 	Tables       int     `json:"tables"`
 	AgeSeconds   float64 `json:"as_of_age_seconds"`
 	Stale        bool    `json:"stale"`
+	Breaker      string  `json:"breaker"`
 	LastRefreshE string  `json:"last_refresh_error"`
 }
 
@@ -138,8 +139,11 @@ func TestHealthzStaleness(t *testing.T) {
 	srv.lastErr = "2 combo failures, last: boom"
 	srv.mu.Unlock()
 	body = getHealth(t, srv)
-	if body.Status != "stale" || !body.Stale {
-		t.Errorf("aged health = %+v, want status stale", body)
+	if body.Status != "degraded" || !body.Stale {
+		t.Errorf("aged health = %+v, want status degraded and stale", body)
+	}
+	if body.Breaker != "closed" {
+		t.Errorf("breaker = %q, want closed (staleness alone does not trip it)", body.Breaker)
 	}
 	if body.AgeSeconds < 150 {
 		t.Errorf("as_of_age_seconds = %v, want >= 150", body.AgeSeconds)

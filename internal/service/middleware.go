@@ -1,0 +1,172 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/resilience"
+)
+
+// requestIDHeader is propagated end to end: the middleware honours an
+// inbound value (so a gateway's ID survives) or assigns one, stamps it on
+// the response before the handler runs, and writeErr echoes it in every
+// error envelope.
+const requestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen bounds an inbound request ID so a hostile client cannot
+// balloon logs or responses.
+const maxRequestIDLen = 64
+
+// adviseWeight is /v1/advise's admission weight: a duration query runs a
+// bid-escalation scan over the full retained history — tens of cached
+// table reads' worth of work — so it consumes proportionally more of the
+// concurrency budget.
+const adviseWeight = 4
+
+// requestID returns the propagated or freshly assigned ID for r.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get(requestIDHeader); id != "" {
+		if len(id) > maxRequestIDLen {
+			id = id[:maxRequestIDLen]
+		}
+		return id
+	}
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// wrap is the service's single middleware: request-ID propagation,
+// admission control, panic containment, and request metrics. When none of
+// those are configured (no metrics registry, no admission control) it
+// returns the mux untouched, preserving the zero-allocation cached-GET
+// path that TestCachedGetZeroAllocs enforces.
+func (s *Server) wrap(mux *http.ServeMux) http.Handler {
+	if !s.metrics.on && s.sem == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		began := time.Now()
+		rid := requestID(r)
+		// A fresh slice per request: the header map may outlive this
+		// handler (httptest recorders), so no pooling here.
+		w.Header()[requestIDHeader] = []string{rid}
+		_, pattern := mux.Handler(r)
+		route := routeLabel(pattern)
+		sw := statusWriterPool.Get().(*statusWriter)
+		sw.ResponseWriter = w
+		sw.status = http.StatusOK
+		sw.wrote = false
+		s.serve(sw, r, mux, route, rid)
+		status := sw.status
+		sw.ResponseWriter = nil
+		statusWriterPool.Put(sw)
+		if s.metrics.on {
+			s.metrics.requests.With(route, statusClass(status)).Inc()
+			s.metrics.latency.With(route).Observe(time.Since(began).Seconds())
+		}
+		if status >= http.StatusInternalServerError {
+			s.logger.Warn("request failed",
+				"route", route, "status", status, "request_id", rid)
+		}
+	})
+}
+
+// serve runs one request through admission control and the mux, containing
+// handler panics to a 500 internal envelope.
+func (s *Server) serve(sw *statusWriter, r *http.Request, mux *http.ServeMux, route, rid string) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.logger.Error("handler panic",
+				"route", route, "request_id", rid, "panic", v)
+			if !sw.wrote {
+				writeErr(sw, http.StatusInternalServerError, codeInternal,
+					"internal error")
+			}
+		}
+	}()
+	// Admission control guards /v1/* only: health and metrics probes must
+	// keep answering precisely when the service is saturated.
+	if s.sem != nil && strings.HasPrefix(r.URL.Path, "/v1/") {
+		weight := int64(1)
+		if route == "/v1/advise" {
+			weight = adviseWeight
+		}
+		ctx := r.Context()
+		if s.cfg.QueueWait > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.QueueWait)
+			defer cancel()
+		}
+		if err := s.sem.Acquire(ctx, weight); err != nil {
+			s.shed(sw, route, rid, err)
+			return
+		}
+		defer s.sem.Release(weight)
+	}
+	mux.ServeHTTP(sw, r)
+}
+
+// shed answers an unadmitted request: 503, the overloaded error code, and
+// a Retry-After hint so well-behaved clients back off instead of hammering.
+func (s *Server) shed(w http.ResponseWriter, route, rid string, err error) {
+	s.setRetryAfter(w)
+	writeErr(w, http.StatusServiceUnavailable, codeOverloaded,
+		"request shed: %v", err)
+	s.metrics.shed.With(route).Inc()
+	s.logger.Debug("request shed", "route", route, "request_id", rid, "err", err)
+}
+
+// setRetryAfter stamps the configured Retry-After hint (whole seconds,
+// minimum 1) on a 503 the client should retry.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// checkStaleness applies the serve-stale policy to a read answered from
+// the epoch installed at asOf. Fresh epochs pass untouched (no header, no
+// allocation). Past staleAfter the response is still served but marked
+// with X-Drafts-Staleness (whole seconds); past MaxStaleness — when one is
+// configured — the read is refused with 503/stale, because a guarantee
+// computed from sufficiently old prices is no guarantee at all. Returns
+// false after writing the refusal.
+func (s *Server) checkStaleness(w http.ResponseWriter, asOf time.Time) bool {
+	if asOf.IsZero() {
+		return true // no epoch: the handler's own empty-state error stands
+	}
+	age := time.Since(asOf)
+	if age <= s.staleAfter() {
+		return true
+	}
+	if s.cfg.MaxStaleness > 0 && age > s.cfg.MaxStaleness {
+		s.setRetryAfter(w)
+		writeErr(w, http.StatusServiceUnavailable, codeStale,
+			"tables are %s old, beyond the %s staleness bound",
+			age.Round(time.Second), s.cfg.MaxStaleness)
+		return false
+	}
+	w.Header().Set(stalenessHeader, strconv.FormatInt(int64(age/time.Second), 10))
+	s.metrics.staleResponses.Inc()
+	return true
+}
+
+// stalenessHeader marks responses served from tables older than the
+// degraded threshold; its value is the table age in whole seconds.
+const stalenessHeader = "X-Drafts-Staleness"
+
+// breakerState exposes the refresh breaker's position to healthz and the
+// metrics gauge.
+func (s *Server) breakerState() resilience.BreakerState {
+	return s.breaker.State()
+}

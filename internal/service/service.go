@@ -26,8 +26,10 @@ import (
 	"time"
 
 	"github.com/drafts-go/drafts/internal/core"
+	"github.com/drafts-go/drafts/internal/faults"
 	"github.com/drafts-go/drafts/internal/history"
 	"github.com/drafts-go/drafts/internal/obfuscate"
+	"github.com/drafts-go/drafts/internal/resilience"
 	"github.com/drafts-go/drafts/internal/spot"
 	"github.com/drafts-go/drafts/internal/telemetry"
 )
@@ -89,6 +91,39 @@ type Config struct {
 	// the given registry. Nil disables collection at the cost of one
 	// branch per instrumentation site.
 	Metrics *telemetry.Registry
+	// MaxConcurrent caps the weighted concurrency admitted to /v1/*
+	// (cached reads weigh 1, /v1/advise weighs 4). 0 disables admission
+	// control entirely — every request runs unbounded, as before.
+	MaxConcurrent int
+	// MaxQueue bounds how many requests may wait for admission once
+	// MaxConcurrent is saturated; overflow is shed immediately with
+	// 503 + Retry-After. Meaningful only with MaxConcurrent > 0.
+	MaxQueue int
+	// QueueWait bounds how long an admitted-queue request may wait before
+	// it is shed (default 1s with admission control on).
+	QueueWait time.Duration
+	// AdviseBudget bounds the server-side compute spent on one /v1/advise
+	// bid-escalation scan; past it the request is abandoned with
+	// 503/overloaded. 0 disables the budget.
+	AdviseBudget time.Duration
+	// MaxStaleness converts degraded (serve-stale) reads into
+	// 503/stale refusals once the tables age past it. 0 serves stale
+	// tables indefinitely.
+	MaxStaleness time.Duration
+	// RetryAfter is the Retry-After hint stamped on shed and stale 503s
+	// (default 1s, whole seconds).
+	RetryAfter time.Duration
+	// BreakerThreshold is how many consecutive refresh failures trip the
+	// refresh circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerBackoff is the breaker's base probe delay once open (default
+	// RefreshEvery/4); successive failed probes double it up to
+	// BreakerMaxBackoff (default RefreshEvery), both with ±50% jitter.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	// Faults optionally injects failures at the "service.refresh"
+	// operation point. nil (the production default) disables injection.
+	Faults *faults.Set
 }
 
 // DefaultIncrementalMaxTicks is the default cap on the incremental refresh
@@ -106,6 +141,13 @@ type Server struct {
 	logger         *slog.Logger
 	metrics        *serviceMetrics
 	incrementalMax int
+
+	// sem admits /v1/* requests when MaxConcurrent is configured; nil
+	// means no admission control. breaker gates the refresh loop's retry
+	// cadence after consecutive failures; it always exists (a breaker
+	// that never trips is free).
+	sem     *resilience.Semaphore
+	breaker *resilience.Breaker
 
 	// blobs is the pre-encoded serving state for the read fast path,
 	// replaced wholesale by each refresh (or snapshot restore). Handlers
@@ -160,18 +202,42 @@ func New(cfg Config) (*Server, error) {
 	case incrementalMax < 0:
 		incrementalMax = 0 // disabled
 	}
+	if cfg.MaxConcurrent < 0 {
+		return nil, fmt.Errorf("service: negative max concurrent")
+	}
+	if cfg.MaxQueue < 0 {
+		return nil, fmt.Errorf("service: negative max queue")
+	}
+	if cfg.MaxConcurrent > 0 && cfg.QueueWait == 0 {
+		cfg.QueueWait = time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerBackoff <= 0 {
+		cfg.BreakerBackoff = cfg.RefreshEvery / 4
+	}
+	if cfg.BreakerMaxBackoff <= 0 {
+		cfg.BreakerMaxBackoff = cfg.RefreshEvery
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = telemetry.NopLogger()
 	}
-	return &Server{
+	s := &Server{
 		cfg:            cfg,
 		logger:         logger,
 		metrics:        newServiceMetrics(cfg.Metrics),
 		incrementalMax: incrementalMax,
-		tables:         make(map[tableKey]core.BidTable),
-		preds:          make(map[tableKey]*core.Predictor),
-	}, nil
+		breaker: resilience.NewBreaker(cfg.BreakerThreshold,
+			cfg.BreakerBackoff, cfg.BreakerMaxBackoff, time.Now().UnixNano()),
+		tables: make(map[tableKey]core.BidTable),
+		preds:  make(map[tableKey]*core.Predictor),
+	}
+	if cfg.MaxConcurrent > 0 {
+		s.sem = resilience.NewSemaphore(int64(cfg.MaxConcurrent), cfg.MaxQueue)
+	}
+	return s, nil
 }
 
 // Refresh recomputes every combo's bid tables from the current histories,
@@ -189,6 +255,14 @@ func New(cfg Config) (*Server, error) {
 // one case where the previous table set should stay in place.
 func (s *Server) Refresh() error {
 	began := time.Now()
+	if err := s.cfg.Faults.Check("service.refresh"); err != nil {
+		err = fmt.Errorf("service: refresh failed: %w", err)
+		s.metrics.refreshErrors.Inc()
+		s.mu.Lock()
+		s.lastErr = err.Error()
+		s.mu.Unlock()
+		return err
+	}
 	if s.cfg.PreRefresh != nil {
 		if err := s.cfg.PreRefresh(); err != nil {
 			s.logger.Warn("refresh: pre-refresh hook failed; using histories as they stand", "err", err)
@@ -391,6 +465,16 @@ func (s *Server) persist(now time.Time) {
 // returned; after RestoreSnapshot has installed tables (a warm restart),
 // the restored state serves immediately and the first refresh runs in the
 // background instead of blocking startup.
+//
+// Periodic refreshes are best-effort: the previous tables keep serving if
+// a recomputation fails. Consecutive failures (BreakerThreshold of them)
+// trip a circuit breaker, after which the loop stops hammering the failing
+// source on the normal cadence and instead probes it on a jittered
+// exponential backoff (BreakerBackoff doubling up to BreakerMaxBackoff).
+// While the breaker is open the service is in degraded, serve-stale mode:
+// reads carry X-Drafts-Staleness once the tables age past two refresh
+// periods and /healthz reports "degraded". The first successful probe
+// closes the breaker and restores the normal cadence.
 func (s *Server) Start(ctx context.Context) error {
 	s.mu.RLock()
 	warm := !s.asOf.IsZero()
@@ -404,25 +488,50 @@ func (s *Server) Start(ctx context.Context) error {
 	} else if err := s.Refresh(); err != nil {
 		return err
 	}
-	ticker := time.NewTicker(s.cfg.RefreshEvery)
-	go func() {
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-ticker.C:
-				// Periodic refreshes are best-effort; the previous tables
-				// keep serving if a recomputation fails, but the failure is
-				// logged, counted (drafts_refresh_errors_total), and
-				// surfaced through /healthz rather than discarded.
-				if err := s.Refresh(); err != nil {
-					s.logger.Error("periodic refresh failed; serving previous tables", "err", err)
+	go s.refreshLoop(ctx)
+	return nil
+}
+
+// refreshLoop drives periodic refreshes through the circuit breaker.
+func (s *Server) refreshLoop(ctx context.Context) {
+	timer := time.NewTimer(s.cfg.RefreshEvery)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		probing := s.breaker.Probe()
+		err := s.Refresh()
+		switch {
+		case err == nil:
+			if s.breaker.State() != resilience.Closed || probing {
+				s.logger.Info("refresh recovered; circuit breaker closed")
+			}
+			s.breaker.Success()
+			s.metrics.breakerState.Set(0)
+			timer.Reset(s.cfg.RefreshEvery)
+		default:
+			tripped := s.breaker.Failure()
+			if state := s.breaker.State(); state == resilience.Open {
+				wait := s.breaker.Backoff()
+				if tripped && !probing {
+					s.logger.Error("refresh circuit breaker tripped; serving stale tables",
+						"err", err, "next_probe_in", wait.Round(time.Millisecond))
+				} else {
+					s.logger.Warn("refresh probe failed; breaker stays open",
+						"err", err, "next_probe_in", wait.Round(time.Millisecond))
 				}
+				s.metrics.breakerState.Set(1)
+				timer.Reset(wait)
+			} else {
+				s.logger.Error("periodic refresh failed; serving previous tables",
+					"err", err, "consecutive", s.breaker.ConsecutiveFailures())
+				timer.Reset(s.cfg.RefreshEvery)
 			}
 		}
-	}()
-	return nil
+	}
 }
 
 // table returns the stored table for a combo/probability.
@@ -491,8 +600,16 @@ func FromJSON(tj TableJSON) (spot.Combo, core.BidTable) {
 // matching If-None-Match receive 304 Not Modified. Cached /v1/predictions
 // GETs perform zero heap allocations.
 //
+// Errors are reported as the uniform JSON envelope documented in
+// errors.go; every /v1 error body decodes into the same
+// {"error":{"code","message","request_id"}} shape.
+//
 // With a metrics registry configured, every request is recorded in
-// drafts_http_requests_total and drafts_http_request_seconds.
+// drafts_http_requests_total and drafts_http_request_seconds; with
+// MaxConcurrent configured, /v1/* requests pass weighted admission control
+// and overflow is shed with 503/overloaded + Retry-After. Both run in the
+// same middleware (wrap); with neither configured the bare mux is
+// returned and cached /v1/predictions GETs perform zero heap allocations.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -500,10 +617,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/predictions", s.handlePredictions)
 	mux.HandleFunc("GET /v1/tables", s.handleTables)
 	mux.HandleFunc("GET /v1/advise", s.handleAdvise)
-	if !s.metrics.on {
-		return mux
-	}
-	return s.instrument(mux)
+	return s.wrap(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -512,22 +626,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 // staleAfter is how old the table set may grow before /healthz reports it
 // stale: two refresh periods means at least one whole cycle failed or hung.
 func (s *Server) staleAfter() time.Duration {
 	return 2 * s.cfg.RefreshEvery
 }
 
+// handleHealth reports the serving state. Status is one of:
+//
+//	"empty"     no tables computed yet (cold start in progress)
+//	"ok"        fresh tables, refresh loop healthy
+//	"degraded"  serving, but impaired: the tables have aged past two
+//	            refresh periods, or the refresh circuit breaker is open
+//	            (or both — the usual refresh-outage combination)
+//
+// A single "degraded" state rather than flapping per-request judgments is
+// what orchestrators should alert on; the stale bool and breaker field
+// break down which impairment applies.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	n := len(s.tables)
 	asOf := s.asOf
 	lastErr := s.lastErr
 	s.mu.RUnlock()
+	breaker := s.breakerState()
 	resp := map[string]any{"status": "ok", "tables": n, "as_of": asOf}
 	stale := true
 	if asOf.IsZero() {
@@ -536,11 +658,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		age := time.Since(asOf)
 		resp["as_of_age_seconds"] = age.Seconds()
 		stale = age > s.staleAfter()
-		if stale {
-			resp["status"] = "stale"
+		if stale || breaker != resilience.Closed {
+			resp["status"] = "degraded"
 		}
 	}
 	resp["stale"] = stale
+	resp["breaker"] = breaker.String()
 	if lastErr != "" {
 		resp["last_refresh_error"] = lastErr
 	}
@@ -568,7 +691,7 @@ func (s *Server) resolveCombo(w http.ResponseWriter, r *http.Request) (visible s
 	ty := r.URL.Query().Get("type")
 	probStr := r.URL.Query().Get("probability")
 	if zone == "" || ty == "" {
-		writeErr(w, http.StatusBadRequest, "zone and type are required")
+		writeErr(w, http.StatusBadRequest, codeInvalidArgument, "zone and type are required")
 		return
 	}
 	prob = 0.99
@@ -576,7 +699,7 @@ func (s *Server) resolveCombo(w http.ResponseWriter, r *http.Request) (visible s
 		var err error
 		prob, err = strconv.ParseFloat(probStr, 64)
 		if err != nil || !(prob > 0 && prob < 1) {
-			writeErr(w, http.StatusBadRequest, "invalid probability %q", probStr)
+			writeErr(w, http.StatusBadRequest, codeInvalidArgument, "invalid probability %q", probStr)
 			return
 		}
 	}
@@ -585,13 +708,13 @@ func (s *Server) resolveCombo(w http.ResponseWriter, r *http.Request) (visible s
 	if account := r.URL.Query().Get("account"); account != "" {
 		m, found := s.cfg.AccountMappings[account]
 		if !found {
-			writeErr(w, http.StatusForbidden, "no zone mapping configured for account %q", account)
+			writeErr(w, http.StatusForbidden, codeInvalidArgument, "no zone mapping configured for account %q", account)
 			return
 		}
 		var err error
 		canonical, err = m.Physical(visible)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "account %q: %v", account, err)
+			writeErr(w, http.StatusBadRequest, codeInvalidArgument, "account %q: %v", account, err)
 			return
 		}
 	}
@@ -600,7 +723,10 @@ func (s *Server) resolveCombo(w http.ResponseWriter, r *http.Request) (visible s
 
 // handleAdvise answers the user question directly: the smallest bid that
 // guarantees the requested duration, escalating past the published table
-// span when necessary.
+// span when necessary. The escalation scan runs under the server-side
+// AdviseBudget (and the client's own disconnection): past either deadline
+// the request is abandoned with 503/overloaded rather than burning CPU on
+// an answer nobody is waiting for.
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	visible, combo, prob, ok := s.resolveCombo(w, r)
 	if !ok {
@@ -608,12 +734,12 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	}
 	durStr := r.URL.Query().Get("duration")
 	if durStr == "" {
-		writeErr(w, http.StatusBadRequest, "duration is required (e.g. 2h30m)")
+		writeErr(w, http.StatusBadRequest, codeInvalidArgument, "duration is required (e.g. 2h30m)")
 		return
 	}
 	dur, err := time.ParseDuration(durStr)
 	if err != nil || dur <= 0 {
-		writeErr(w, http.StatusBadRequest, "invalid duration %q", durStr)
+		writeErr(w, http.StatusBadRequest, codeInvalidArgument, "invalid duration %q", durStr)
 		return
 	}
 	// Predictors are never mutated after a refresh installs them (Advise
@@ -621,14 +747,31 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	// requests is safe.
 	s.mu.RLock()
 	pred := s.preds[tableKey{combo: combo, prob: prob}]
+	asOf := s.asOf
 	s.mu.RUnlock()
 	if pred == nil {
-		writeErr(w, http.StatusNotFound, "no predictor for %s at probability %v", combo, prob)
+		writeErr(w, http.StatusNotFound, codeNotFound, "no predictor for %s at probability %v", combo, prob)
 		return
 	}
-	quote, err := pred.Advise(dur)
+	if !s.checkStaleness(w, asOf) {
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.AdviseBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.AdviseBudget)
+		defer cancel()
+	}
+	quote, err := pred.AdviseContext(ctx, dur)
 	if err != nil {
-		writeErr(w, http.StatusConflict, "cannot guarantee %v on %s: %v", dur, combo, err)
+		if ctx.Err() != nil {
+			s.metrics.adviseDeadline.Inc()
+			s.setRetryAfter(w)
+			writeErr(w, http.StatusServiceUnavailable, codeOverloaded,
+				"advise abandoned: %v", err)
+			return
+		}
+		writeErr(w, http.StatusConflict, codeNotFound, "cannot guarantee %v on %s: %v", dur, combo, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, QuoteJSON{

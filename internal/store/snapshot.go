@@ -39,7 +39,11 @@ func parseSnapName(name string) (uint64, bool) {
 }
 
 // writeSnapshotFile atomically publishes payload as snapshot seq in dir.
-func writeSnapshotFile(dir string, seq uint64, payload []byte) error {
+// The header always describes the full payload; writeLen < len(payload)
+// truncates only the written body (the fault-injection partial-write
+// path), producing a published-but-defective snapshot that load-time
+// validation must reject.
+func writeSnapshotFile(dir string, seq uint64, payload []byte, writeLen int) error {
 	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {
 		return err
@@ -53,10 +57,13 @@ func writeSnapshotFile(dir string, seq uint64, payload []byte) error {
 	header = append(header, snapMagic...)
 	header = binary.LittleEndian.AppendUint32(header, uint32(len(payload)))
 	header = binary.LittleEndian.AppendUint32(header, crc32.ChecksumIEEE(payload))
+	if writeLen < 0 || writeLen > len(payload) {
+		writeLen = len(payload)
+	}
 	if _, err := tmp.Write(header); err != nil {
 		return cleanup(err)
 	}
-	if _, err := tmp.Write(payload); err != nil {
+	if _, err := tmp.Write(payload[:writeLen]); err != nil {
 		return cleanup(err)
 	}
 	if err := tmp.Sync(); err != nil {

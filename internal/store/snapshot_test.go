@@ -10,7 +10,7 @@ import (
 func TestSnapshotWriteReadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	payload := []byte(`{"tables":"state"}`)
-	if err := writeSnapshotFile(dir, 7, payload); err != nil {
+	if err := writeSnapshotFile(dir, 7, payload, -1); err != nil {
 		t.Fatalf("writeSnapshotFile: %v", err)
 	}
 	got, err := readSnapshotFile(filepath.Join(dir, snapName(7)))
@@ -24,7 +24,7 @@ func TestSnapshotWriteReadRoundTrip(t *testing.T) {
 
 func TestSnapshotEmptyPayload(t *testing.T) {
 	dir := t.TempDir()
-	if err := writeSnapshotFile(dir, 1, nil); err != nil {
+	if err := writeSnapshotFile(dir, 1, nil, -1); err != nil {
 		t.Fatalf("writeSnapshotFile(nil): %v", err)
 	}
 	got, err := readSnapshotFile(filepath.Join(dir, snapName(1)))
@@ -38,10 +38,10 @@ func TestSnapshotEmptyPayload(t *testing.T) {
 
 func TestLoadNewestSnapshotFallsBackPastCorruption(t *testing.T) {
 	dir := t.TempDir()
-	if err := writeSnapshotFile(dir, 1, []byte("old-good")); err != nil {
+	if err := writeSnapshotFile(dir, 1, []byte("old-good"), -1); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeSnapshotFile(dir, 2, []byte("new-good")); err != nil {
+	if err := writeSnapshotFile(dir, 2, []byte("new-good"), -1); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt the newest snapshot's payload in place.
@@ -83,7 +83,7 @@ func TestSnapshotRejectsDefects(t *testing.T) {
 	}
 	// A length that disagrees with the file size.
 	good := func() []byte {
-		if err := writeSnapshotFile(dir, 99, []byte("abc")); err != nil {
+		if err := writeSnapshotFile(dir, 99, []byte("abc"), -1); err != nil {
 			t.Fatal(err)
 		}
 		data, err := os.ReadFile(filepath.Join(dir, snapName(99)))
@@ -107,7 +107,7 @@ func TestSnapshotRejectsDefects(t *testing.T) {
 func TestPruneSnapshots(t *testing.T) {
 	dir := t.TempDir()
 	for seq := uint64(1); seq <= 5; seq++ {
-		if err := writeSnapshotFile(dir, seq, []byte{byte(seq)}); err != nil {
+		if err := writeSnapshotFile(dir, seq, []byte{byte(seq)}, -1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -125,7 +125,7 @@ func TestPruneSnapshots(t *testing.T) {
 
 func TestRemoveStaleTemps(t *testing.T) {
 	dir := t.TempDir()
-	if err := writeSnapshotFile(dir, 1, []byte("keep")); err != nil {
+	if err := writeSnapshotFile(dir, 1, []byte("keep"), -1); err != nil {
 		t.Fatal(err)
 	}
 	stale := filepath.Join(dir, "snap-123.tmp")

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/drafts-go/drafts/internal/faults"
 	"github.com/drafts-go/drafts/internal/history"
 	"github.com/drafts-go/drafts/internal/spot"
 )
@@ -55,6 +56,10 @@ type Options struct {
 	// KeepSnapshots is how many published snapshots to retain (default 2:
 	// the newest plus one fallback should the newest prove defective).
 	KeepSnapshots int
+	// Faults optionally injects failures at the "wal.append", "wal.fsync"
+	// and "snapshot.write" operation points. nil (the production default)
+	// disables injection.
+	Faults *faults.Set
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +103,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		segmentBytes: opt.SegmentBytes,
 		policy:       opt.Fsync,
 		every:        opt.FsyncEvery,
+		faults:       opt.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -207,11 +213,26 @@ func (s *Store) WriteSnapshot(payload []byte) error {
 	if err := s.wal.Sync(); err != nil {
 		return err
 	}
+	writeLen := len(payload)
+	if f, ok := s.opt.Faults.Apply("snapshot.write"); ok {
+		if f.PartialFrac <= 0 || f.PartialFrac >= 1 {
+			return f.Err
+		}
+		// Silent partial write: the header still declares the full payload,
+		// but only a prefix reaches the file before rename publishes it —
+		// the storage-lied failure mode the load-time validation exists
+		// for. The write "succeeds"; the corruption surfaces only when a
+		// recovery attempts to read this snapshot and falls back.
+		writeLen = int(float64(len(payload)) * f.PartialFrac)
+		if writeLen >= len(payload) {
+			writeLen = len(payload) - 1
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	seq := s.snapSeq + 1
 	snapDir := filepath.Join(s.dir, "snapshots")
-	if err := writeSnapshotFile(snapDir, seq, payload); err != nil {
+	if err := writeSnapshotFile(snapDir, seq, payload, writeLen); err != nil {
 		return err
 	}
 	s.snapSeq = seq

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/drafts-go/drafts/internal/faults"
 )
 
 // FsyncPolicy controls when the WAL forces appended records to stable
@@ -56,6 +58,7 @@ type walOptions struct {
 	segmentBytes int64
 	policy       FsyncPolicy
 	every        time.Duration
+	faults       *faults.Set // nil disables injection
 }
 
 // WAL is a segmented append-only log of price-tick records. Segments are
@@ -78,6 +81,7 @@ type WAL struct {
 	size   int64 // active segment size including buffered bytes
 	dirty  bool  // bytes written since the last fsync
 	closed bool
+	failed bool              // an injected torn write poisoned the active segment
 	segs   []int             // all live segment numbers, ascending
 	lastAt map[int]time.Time // newest record time per segment, where known
 	torn   int64             // bytes dropped from the active segment at open
@@ -221,6 +225,34 @@ func (w *WAL) Append(r Record) error {
 	if w.closed {
 		return errors.New("store: append to closed WAL")
 	}
+	if w.failed {
+		return errors.New("store: append to failed WAL")
+	}
+	if f, ok := w.opt.faults.Apply("wal.append"); ok {
+		if f.PartialFrac > 0 && f.PartialFrac < 1 {
+			// Torn write: a prefix of the frame reaches the file — the
+			// on-disk signature of a crash mid-append, which the next
+			// open's tail repair must truncate. The WAL refuses further
+			// appends, as a real process would by dying here.
+			k := int(float64(len(frame)) * f.PartialFrac)
+			if k >= len(frame) {
+				k = len(frame) - 1
+			}
+			if k < 1 {
+				k = 1
+			}
+			if _, werr := w.w.Write(frame[:k]); werr != nil {
+				return werr
+			}
+			if werr := w.w.Flush(); werr != nil {
+				return werr
+			}
+			w.size += int64(k)
+			w.dirty = true
+			w.failed = true
+		}
+		return f.Err
+	}
 	if _, err := w.w.Write(frame); err != nil {
 		return err
 	}
@@ -249,6 +281,9 @@ func (w *WAL) syncLocked() error {
 	}
 	if !w.dirty {
 		return nil
+	}
+	if err := w.opt.faults.Check("wal.fsync"); err != nil {
+		return err
 	}
 	if err := w.f.Sync(); err != nil {
 		return err
