@@ -12,6 +12,8 @@
 //	                           serving speedup ratio
 //	-gobench file              ingest `go test -bench` output (use "-" for
 //	                           stdin) into the same report
+//	-trace-overhead            in-process tracing A/B (off vs 1%% vs 100%%
+//	                           sampling) writing BENCH_trace.json
 //
 // Load shape against a live target:
 //
@@ -51,6 +53,8 @@ import (
 	"github.com/drafts-go/drafts/internal/pricegen"
 	"github.com/drafts-go/drafts/internal/service"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/telemetry"
+	"github.com/drafts-go/drafts/internal/trace"
 )
 
 type options struct {
@@ -74,6 +78,9 @@ type options struct {
 	overload     bool
 	overloadMult float64
 	overloadOut  string
+
+	traceOverhead bool
+	traceOut      string
 }
 
 func main() {
@@ -96,9 +103,11 @@ func main() {
 	flag.BoolVar(&opts.overload, "overload", false, "overload scenario: measure capacity, then drive -overload-mult times it open-loop (requires -target)")
 	flag.Float64Var(&opts.overloadMult, "overload-mult", 2, "offered load as a multiple of measured capacity (-overload)")
 	flag.StringVar(&opts.overloadOut, "overload-out", "BENCH_overload.json", "overload report output path")
+	flag.BoolVar(&opts.traceOverhead, "trace-overhead", false, "in-process tracing-overhead A/B: tracing off vs 1%% vs 100%% sampling")
+	flag.StringVar(&opts.traceOut, "trace-out", "BENCH_trace.json", "tracing-overhead report output path")
 	flag.Parse()
 
-	if opts.target == "" && !opts.direct && opts.gobench == "" {
+	if opts.target == "" && !opts.direct && opts.gobench == "" && !opts.traceOverhead {
 		fmt.Fprintln(os.Stderr, "draftsbench: nothing to do; pass -target, -direct, and/or -gobench (see -h)")
 		os.Exit(2)
 	}
@@ -129,6 +138,11 @@ func main() {
 	}
 	if opts.overload {
 		if err := runOverload(opts); err != nil {
+			fatal(err)
+		}
+	}
+	if opts.traceOverhead {
+		if err := runTraceOverhead(opts); err != nil {
 			fatal(err)
 		}
 	}
@@ -439,6 +453,152 @@ func runOverload(opts options) error {
 	printSummary(report)
 	fmt.Printf("overload report written to %s\n", opts.overloadOut)
 	return nil
+}
+
+// runTraceOverhead is the tracing-overhead A/B: four in-process servers
+// over one shared history store, each driven with the same tight loop
+// collecting per-request latencies. The three production-shaped variants —
+// metrics on with tracing off, at 1% head sampling (the default, where the
+// loop runs almost entirely on the unsampled path), and at 100% sampling
+// (every request recorded into the flight ring, the worst case) — isolate
+// what tracing itself costs on a server that is already instrumented,
+// which is how draftsd always runs. A bare variant (no middleware at all)
+// is reported alongside as the wrapper-cost reference. The acceptance bar
+// is <=3% p99 overhead for 1% sampling over the tracing-off baseline.
+func runTraceOverhead(opts options) error {
+	combos := spot.Combos()
+	if opts.directCombos > 0 && opts.directCombos < len(combos) {
+		combos = combos[:opts.directCombos]
+	}
+	start := time.Now().UTC().Add(-time.Duration(opts.directTicks) * spot.UpdatePeriod).Truncate(spot.UpdatePeriod)
+	st := history.NewStore()
+	if err := (pricegen.Generator{Seed: opts.seed}).Populate(st, combos, start, opts.directTicks); err != nil {
+		return err
+	}
+	target := fmt.Sprintf("/v1/predictions?zone=%s&type=%s&probability=%v",
+		combos[0].Zone, combos[0].Type, opts.probability)
+
+	variants := []struct {
+		name    string
+		rate    float64 // negative: no tracer
+		metrics bool
+	}{
+		{"bare", -1, false},
+		{"trace-off", -1, true},
+		{"trace-1pct", 0.01, true},
+		{"trace-100pct", 1, true},
+	}
+	report := benchio.NewReport(time.Now().UTC())
+	labels := map[string]string{"request": target, "duration": opts.duration.String(),
+		"baseline": "trace-off (metrics on, no tracer)"}
+	p99 := make(map[string]float64, len(variants))
+	p50 := make(map[string]float64, len(variants))
+	allocs := make(map[string]float64, len(variants))
+	for _, v := range variants {
+		cfg := service.Config{Source: st, MaxHistory: opts.directTicks}
+		if v.metrics {
+			cfg.Metrics = telemetry.NewRegistry()
+		}
+		if v.rate >= 0 {
+			tracer, err := trace.New(trace.Config{SampleRate: v.rate, Seed: opts.seed, Now: time.Now})
+			if err != nil {
+				return err
+			}
+			cfg.Tracer = tracer
+		}
+		srv, err := service.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := srv.Refresh(); err != nil {
+			return err
+		}
+		stats, err := measureLatencies(srv.Handler(), target, opts.duration)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		p99[v.name] = benchio.Quantile(stats.latenciesUS, 0.99)
+		p50[v.name] = benchio.Quantile(stats.latenciesUS, 0.50)
+		allocs[v.name] = stats.allocsPerOp
+		report.Add(benchio.Result{
+			Name: "trace/" + v.name, Kind: "trace-overhead", Labels: labels,
+			Metrics: map[string]float64{
+				"requests": float64(stats.n), "ns_per_op": stats.nsPerOp,
+				"allocs_per_op": stats.allocsPerOp, "throughput_rps": stats.rps,
+				"p50_latency_us": p50[v.name], "p99_latency_us": p99[v.name],
+			},
+		})
+	}
+	overhead := map[string]float64{}
+	if base := p99["trace-off"]; base > 0 {
+		overhead["p99_overhead_pct_1pct"] = (p99["trace-1pct"]/base - 1) * 100
+		overhead["p99_overhead_pct_100pct"] = (p99["trace-100pct"]/base - 1) * 100
+	}
+	if base := p50["trace-off"]; base > 0 {
+		overhead["p50_overhead_pct_1pct"] = (p50["trace-1pct"]/base - 1) * 100
+		overhead["p50_overhead_pct_100pct"] = (p50["trace-100pct"]/base - 1) * 100
+	}
+	if bare := p50["bare"]; bare > 0 {
+		overhead["middleware_p50_overhead_pct"] = (p50["trace-off"]/bare - 1) * 100
+	}
+	overhead["allocs_per_op_1pct"] = allocs["trace-1pct"]
+	report.Add(benchio.Result{
+		Name: "trace/overhead", Kind: "trace-overhead", Labels: labels,
+		Metrics: overhead,
+	})
+	if err := benchio.Write(opts.traceOut, report); err != nil {
+		return err
+	}
+	printSummary(report)
+	fmt.Printf("trace-overhead report written to %s\n", opts.traceOut)
+	return nil
+}
+
+type latencyStats struct {
+	n           int
+	nsPerOp     float64
+	allocsPerOp float64
+	rps         float64
+	latenciesUS []float64
+}
+
+// measureLatencies drives one handler in-process like measureHandler but
+// times every request individually, so tail quantiles are comparable
+// across variants (the per-op clock reads cost the same in each).
+func measureLatencies(h http.Handler, target string, d time.Duration) (latencyStats, error) {
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	rec := httptest.NewRecorder()
+	for i := 0; i < 200; i++ {
+		rec.Body.Reset()
+		h.ServeHTTP(rec, req)
+	}
+	if rec.Code != http.StatusOK {
+		return latencyStats{}, fmt.Errorf("GET %s: status %d: %s", target, rec.Code, rec.Body.String())
+	}
+	lat := make([]float64, 0, 1<<20)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	began := time.Now()
+	deadline := began.Add(d)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 64; i++ {
+			rec.Body.Reset()
+			t0 := time.Now()
+			h.ServeHTTP(rec, req)
+			lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e3)
+		}
+	}
+	elapsed := time.Since(began)
+	runtime.ReadMemStats(&after)
+	n := len(lat)
+	sort.Float64s(lat)
+	return latencyStats{
+		n:           n,
+		nsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+		allocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+		rps:         float64(n) / elapsed.Seconds(),
+		latenciesUS: lat,
+	}, nil
 }
 
 // resolveCombos parses -combos or asks the target's /v1/combos.

@@ -3,13 +3,17 @@
 //	draftsctl -server http://localhost:8732 combos
 //	draftsctl table -zone us-east-1b -type c4.large -p 0.99
 //	draftsctl bid -zone us-east-1b -type c4.large -p 0.99 -duration 2h
+//	draftsctl flight
 //
 // "table" prints the bid-vs-duration relationship (the data behind
 // Figure 4); "bid" answers the user question directly: the smallest bid
-// that guarantees the duration.
+// that guarantees the duration; "flight" dumps the daemon's flight
+// recorder — retained error/shed/slow traces first, then the most recent
+// completed ones.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -20,6 +24,7 @@ import (
 	"github.com/drafts-go/drafts/internal/service"
 	"github.com/drafts-go/drafts/internal/spot"
 	"github.com/drafts-go/drafts/internal/telemetry"
+	"github.com/drafts-go/drafts/internal/trace"
 )
 
 func main() {
@@ -35,6 +40,14 @@ func main() {
 	// Three attempts total with jittered backoff: a daemon mid-restart (warm
 	// recovery takes moments) shouldn't fail the CLI.
 	cl := &service.Client{BaseURL: *server, Timeout: *timeout, Retries: 2}
+	// Always-sampled client tracing: each draftsctl request crosses the
+	// wire with a traceparent, so its ID shows up verbatim in the daemon's
+	// logs, error envelopes, and flight recorder.
+	if tracer, err := trace.New(trace.Config{
+		SampleRate: 1, Seed: time.Now().UnixNano(), Now: time.Now,
+	}); err == nil {
+		cl.Tracer = tracer
+	}
 	var err error
 	switch flag.Arg(0) {
 	case "combos":
@@ -43,6 +56,8 @@ func main() {
 		err = runTable(cl, flag.Args()[1:])
 	case "bid":
 		err = runBid(cl, flag.Args()[1:])
+	case "flight":
+		err = runFlight(cl, flag.Args()[1:])
 	default:
 		usage()
 	}
@@ -53,7 +68,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: draftsctl [-server URL] combos | table | bid [options]")
+	fmt.Fprintln(os.Stderr, "usage: draftsctl [-server URL] combos | table | bid | flight [options]")
 	os.Exit(2)
 }
 
@@ -100,6 +115,55 @@ func runTable(cl *service.Client, args []string) error {
 		fmt.Printf("%.4f        %s\n", pt.Bid, pt.Duration)
 	}
 	return nil
+}
+
+func runFlight(cl *service.Client, args []string) error {
+	fs := flag.NewFlagSet("flight", flag.ExitOnError)
+	raw := fs.Bool("json", false, "dump the raw /debug/flight JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := cl.Flight()
+	if err != nil {
+		return err
+	}
+	if *raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	s := rep.Stats
+	fmt.Printf("traces: %d started, %d sampled, %d recorded (%d errors), %d spans dropped\n\n",
+		s.Started, s.Sampled, s.Recorded, s.Errors, s.DroppedSpans)
+	printTraces("errors (retained regardless of sampling)", rep.Errors)
+	printTraces("recent", rep.Recent)
+	return nil
+}
+
+// printTraces renders one flight-recorder ring: a line per trace, its
+// spans indented beneath it. Unsampled error traces carry structure-only
+// spans (no timings); those render without a duration.
+func printTraces(title string, traces []trace.TraceJSON) {
+	fmt.Printf("%s: %d\n", title, len(traces))
+	for _, t := range traces {
+		status := "-"
+		if t.Status != 0 {
+			status = fmt.Sprintf("%d", t.Status)
+		}
+		fmt.Printf("  %s  %-8s %-20s %3s  %9.3fms  %s\n",
+			t.TraceID, t.Kind, t.Route, status, t.DurMS, t.Error)
+		for _, sp := range t.Spans {
+			line := "    - " + sp.Name
+			if sp.DurUS != nil {
+				line += fmt.Sprintf("  %.0fus", *sp.DurUS)
+			}
+			if sp.Error != "" {
+				line += "  ! " + sp.Error
+			}
+			fmt.Println(line)
+		}
+	}
+	fmt.Println()
 }
 
 func runBid(cl *service.Client, args []string) error {

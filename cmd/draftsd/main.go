@@ -12,6 +12,7 @@
 //	GET /v1/predictions?zone=Z&type=T&probability=P
 //	GET /v1/tables?combos=Z/T,Z/T&probability=P   (batched tables)
 //	GET /v1/advise?zone=Z&type=T&probability=P&duration=2h
+//	GET /debug/flight   (flight recorder: recent + error traces, JSON)
 //	GET /debug/pprof/   (only with -pprof)
 //
 // Table reads are served from pre-encoded blobs with a refresh-epoch ETag
@@ -52,6 +53,7 @@ import (
 	"github.com/drafts-go/drafts/internal/spot"
 	"github.com/drafts-go/drafts/internal/store"
 	"github.com/drafts-go/drafts/internal/telemetry"
+	"github.com/drafts-go/drafts/internal/trace"
 )
 
 // shutdownTimeout bounds the drain of in-flight requests after a signal.
@@ -75,6 +77,11 @@ type options struct {
 	queueWait     time.Duration
 	adviseBudget  time.Duration
 	maxStaleness  time.Duration
+
+	traceSample float64
+	traceSlow   time.Duration
+	traceSeed   int64
+	flightSize  int
 }
 
 func main() {
@@ -94,6 +101,10 @@ func main() {
 	flag.DurationVar(&opts.queueWait, "queue-wait", 0, "max time a request may queue for admission (0 = 1s)")
 	flag.DurationVar(&opts.adviseBudget, "advise-budget", 2*time.Second, "per-request compute budget for /v1/advise scans")
 	flag.DurationVar(&opts.maxStaleness, "max-staleness", 2*time.Hour, "oldest tables the daemon will serve; beyond this /v1 reads fail 503")
+	flag.Float64Var(&opts.traceSample, "trace-sample", 0.01, "head-sampling rate for request traces (0 disables sampling; errors are always retained)")
+	flag.DurationVar(&opts.traceSlow, "trace-slow", 0, "latency threshold beyond which a trace is retained as slow (0 disables)")
+	flag.Int64Var(&opts.traceSeed, "trace-seed", 0, "trace ID generator seed (0 = time-seeded)")
+	flag.IntVar(&opts.flightSize, "flight", 0, "flight-recorder ring size per ring (0 = default)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
@@ -112,6 +123,24 @@ func run(logger *slog.Logger, opts options) error {
 	market.RegisterMetrics(reg)
 	cloudsim.RegisterMetrics(reg)
 	store.RegisterMetrics(reg)
+	telemetry.RegisterRuntime(reg)
+
+	traceSeed := opts.traceSeed
+	if traceSeed == 0 {
+		traceSeed = time.Now().UnixNano()
+	}
+	tracer, err := trace.New(trace.Config{
+		SampleRate:    opts.traceSample,
+		Seed:          traceSeed,
+		Now:           time.Now,
+		SlowThreshold: opts.traceSlow,
+		FlightRecent:  opts.flightSize,
+		FlightErrors:  opts.flightSize,
+	})
+	if err != nil {
+		return fmt.Errorf("configuring tracer: %w", err)
+	}
+	registerTracerStats(reg, tracer)
 
 	var durable *store.Store
 	if opts.stateDir != "" {
@@ -146,6 +175,7 @@ func run(logger *slog.Logger, opts options) error {
 		QueueWait:      opts.queueWait,
 		AdviseBudget:   opts.adviseBudget,
 		MaxStaleness:   opts.maxStaleness,
+		Tracer:         tracer,
 	}
 	if durable != nil {
 		cfg.Durable = durable
@@ -216,6 +246,25 @@ func run(logger *slog.Logger, opts options) error {
 	}
 	logger.Info("draftsd stopped")
 	return nil
+}
+
+// registerTracerStats publishes the tracer's lifetime counters as gauges,
+// sampled at scrape time — the dashboard-side view of how much the flight
+// recorder is seeing (and whether spans are overflowing their buffers).
+func registerTracerStats(reg *telemetry.Registry, tracer *trace.Tracer) {
+	started := reg.Gauge("drafts_trace_started_total", "Traces started.")
+	sampled := reg.Gauge("drafts_trace_sampled_total", "Traces head-sampled for recording.")
+	recorded := reg.Gauge("drafts_trace_recorded_total", "Traces retained by the flight recorder.")
+	errored := reg.Gauge("drafts_trace_error_total", "Error/shed/slow traces retained regardless of sampling.")
+	dropped := reg.Gauge("drafts_trace_spans_dropped_total", "Spans dropped by full span buffers.")
+	reg.OnScrape(func() {
+		s := tracer.Stats()
+		started.Set(float64(s.Started))
+		sampled.Set(float64(s.Sampled))
+		recorded.Set(float64(s.Recorded))
+		errored.Set(float64(s.Errors))
+		dropped.Set(float64(s.DroppedSpans))
+	})
 }
 
 // recoverOrBootstrap produces the price-history archive: by WAL replay when

@@ -200,6 +200,7 @@ func Analyzers() []*Analyzer {
 		MetricSlot,
 		MapOrder,
 		FaultGate,
+		SpanEnd,
 	}
 }
 

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SpanEnd enforces the tracing package's ownership contract: whoever calls
+// StartTrace, StartRequest or StartSpan must End the result on every path.
+// A leaked trace never reaches the flight recorder (it silently pins a
+// pooled buffer instead), and a leaked span reports garbage timings — both
+// are invisible at runtime, which is exactly what a static check is for.
+//
+// Accepted shapes, matching how the tree uses the API:
+//
+//   - defer v.End() (directly, or inside a deferred closure) anywhere in
+//     the function;
+//   - a straight-line bracket: v := x.StartSpan(...) ... v.End() /
+//     v.EndErr(err) later in the same block, with no intervening statement
+//     that can return first (loops and branches without returns are fine —
+//     the refresh fan-out brackets a worker-spawn loop);
+//   - returning the started trace, which hands the obligation to the
+//     caller.
+//
+// Dropping the result on the floor is always a finding.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "every trace.Start*/StartSpan result must be Ended on all paths: " +
+		"defer the End, or End before anything can return",
+	Allow: []string{
+		"internal/trace",
+	},
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkSpanEnds(pass, body)
+			}
+			return true // nested FuncLits get their own visit
+		})
+	}
+}
+
+// checkSpanEnds analyzes one function body. Nested function literals are
+// skipped throughout — they are separate scopes with their own visit, and
+// a return inside one cannot abandon the enclosing function's spans.
+func checkSpanEnds(pass *Pass, body *ast.BlockStmt) {
+	deferred := deferredEnds(pass, body)
+	eachStmtList(body, func(list []ast.Stmt) {
+		for i, st := range list {
+			switch st := st.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if name := traceStartName(pass, call); name != "" {
+						pass.Reportf(call.Pos(),
+							"result of %s is dropped; it can never be Ended", name)
+					}
+				}
+			case *ast.AssignStmt:
+				if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+					continue
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				name := traceStartName(pass, call)
+				if name == "" {
+					continue
+				}
+				id, ok := st.Lhs[0].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					pass.Reportf(call.Pos(),
+						"result of %s is dropped; it can never be Ended", name)
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj == nil || deferred[obj] {
+					continue
+				}
+				if !endedInline(pass, list[i+1:], obj) {
+					pass.Reportf(call.Pos(),
+						"%s result %q is not Ended on every path; defer %s.End() "+
+							"or End it before anything can return", name, id.Name, id.Name)
+				}
+			}
+		}
+	})
+}
+
+// deferredEnds collects every variable whose End/EndErr is deferred in
+// body — either `defer v.End()` or `defer func() { ... v.End() ... }()`.
+func deferredEnds(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	ends := make(map[types.Object]bool)
+	collect := func(call *ast.CallExpr) {
+		if obj := traceEndReceiver(pass, call); obj != nil {
+			ends[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		collect(d.Call)
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					collect(call)
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return ends
+}
+
+// endedInline reports whether rest — the statements following the start in
+// its own block — reaches an End/EndErr on obj before any statement that
+// can return out of the function.
+func endedInline(pass *Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, st := range rest {
+		if es, ok := st.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && traceEndReceiver(pass, call) == obj {
+				return true
+			}
+		}
+		if containsReturn(st) {
+			return false
+		}
+	}
+	return false
+}
+
+// containsReturn reports whether st contains a return statement, not
+// counting nested function literals.
+func containsReturn(st ast.Stmt) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// eachStmtList visits every statement list in body (blocks, switch cases,
+// select clauses), skipping nested function literals.
+func eachStmtList(body *ast.BlockStmt, fn func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// traceStartName returns the name of the trace start method call resolves
+// to ("StartTrace", "StartRequest", "StartSpan"), or "" for anything else.
+func traceStartName(pass *Pass, call *ast.CallExpr) string {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || !isTracePkg(fn.Pkg()) {
+		return ""
+	}
+	switch fn.Name() {
+	case "StartTrace", "StartRequest", "StartSpan":
+		return fn.Name()
+	}
+	return ""
+}
+
+// traceEndReceiver returns the variable an End/EndErr call is invoked on
+// (v in v.End()), or nil when call is not a trace end on a plain ident.
+func traceEndReceiver(pass *Pass, call *ast.CallExpr) types.Object {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || !isTracePkg(fn.Pkg()) {
+		return nil
+	}
+	if fn.Name() != "End" && fn.Name() != "EndErr" {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+// isTracePkg reports whether pkg is the module's tracing package.
+func isTracePkg(pkg *types.Package) bool {
+	return pkg != nil && strings.HasSuffix(pkg.Path(), "/internal/trace")
+}

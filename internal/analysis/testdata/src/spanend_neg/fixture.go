@@ -1,0 +1,70 @@
+// Package fixture holds the spanend shapes the tree legitimately uses:
+// deferred Ends, straight-line brackets, a span bracketing a worker-spawn
+// loop, and handing a started trace to the caller.
+package fixture
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/drafts-go/drafts/internal/trace"
+)
+
+var errStub = errors.New("stub")
+
+func doWork() error { return errStub }
+
+func Deferred(t *trace.Tracer) {
+	tr := t.StartRequest("")
+	defer tr.End()
+	tr.SetRoute("/x")
+}
+
+func DeferredInClosure(t *trace.Tracer) {
+	tr := t.StartTrace("job")
+	defer func() {
+		tr.Fail(errStub)
+		tr.End()
+	}()
+}
+
+// StraightLine is the middleware's admission pattern: Start, one
+// operation, EndErr — returns come only after the End.
+func StraightLine(t *trace.Tracer) error {
+	tr := t.StartTrace("job")
+	defer tr.End()
+	sp := tr.StartSpan("step")
+	err := doWork()
+	sp.EndErr(err)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// BracketsLoop is the refresh fan-out pattern: one span brackets a
+// worker-spawn loop. Returns inside the goroutine bodies belong to the
+// goroutines, not to this function.
+func BracketsLoop(t *trace.Tracer, n int) {
+	tr := t.StartTrace("refresh")
+	defer tr.End()
+	sp := tr.StartSpan("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i%2 == 0 {
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	sp.End()
+}
+
+// Returned hands the End obligation to the caller, the trace package's own
+// constructor shape.
+func Returned(t *trace.Tracer) *trace.Trace {
+	return t.StartTrace("job")
+}

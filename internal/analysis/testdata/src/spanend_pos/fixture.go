@@ -1,0 +1,60 @@
+// Package fixture exercises spanend: traces and spans that leak without
+// an End on some path.
+package fixture
+
+import (
+	"errors"
+
+	"github.com/drafts-go/drafts/internal/trace"
+)
+
+var errStub = errors.New("stub")
+
+func Dropped(t *trace.Tracer) {
+	t.StartTrace("job") // want spanend "result of StartTrace is dropped"
+}
+
+func Blank(t *trace.Tracer) {
+	_ = t.StartRequest("") // want spanend "result of StartRequest is dropped"
+}
+
+func Leaked(t *trace.Tracer) {
+	tr := t.StartTrace("job") // want spanend "result .tr. is not Ended on every path"
+	tr.SetRoute("/x")
+}
+
+// EarlyReturn has an End, but a statement that can return sits between the
+// Start and the End: the error path leaks the trace.
+func EarlyReturn(t *trace.Tracer, fail bool) error {
+	tr := t.StartTrace("job") // want spanend "result .tr. is not Ended on every path"
+	if fail {
+		return errStub
+	}
+	tr.End()
+	return nil
+}
+
+// SpanEscapesLoop leaks the per-iteration span when the branch returns
+// before sp.End() runs.
+func SpanEscapesLoop(t *trace.Tracer, n int) {
+	tr := t.StartTrace("job")
+	defer tr.End()
+	for i := 0; i < n; i++ {
+		sp := tr.StartSpan("step") // want spanend "result .sp. is not Ended on every path"
+		if i == 2 {
+			return
+		}
+		sp.EndErr(nil)
+	}
+}
+
+// EndedElsewhere only Ends the span inside one branch; the other branch
+// falls off the end of the block without an End.
+func EndedElsewhere(t *trace.Tracer, ok bool) {
+	tr := t.StartTrace("job")
+	defer tr.End()
+	sp := tr.StartSpan("step") // want spanend "result .sp. is not Ended on every path"
+	if ok {
+		sp.End()
+	}
+}

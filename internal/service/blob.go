@@ -14,6 +14,7 @@ import (
 
 	"github.com/drafts-go/drafts/internal/core"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/trace"
 )
 
 // The serving hot path is allocation-free: every bid table is JSON-encoded
@@ -126,8 +127,17 @@ func encodeTables(tables map[tableKey]core.BidTable, asOf time.Time) (*encodedTa
 // same time; an encoding failure publishes a nil store, which sends every
 // read to the marshal-per-request fallback rather than serving stale bytes.
 func (s *Server) installBlobs(tables map[tableKey]core.BidTable, asOf time.Time) {
+	s.installBlobsTraced(tables, asOf, nil)
+}
+
+// installBlobsTraced is installBlobs with the refresh cycle's trace: the
+// pre-encoding pass gets its own blob.encode span. Snapshot restores pass
+// a nil trace.
+func (s *Server) installBlobsTraced(tables map[tableKey]core.BidTable, asOf time.Time, tr *trace.Trace) {
 	began := time.Now()
+	sp := tr.StartSpan("blob.encode")
 	et, err := encodeTables(tables, asOf)
+	sp.EndErr(err)
 	if err != nil {
 		s.logger.Error("encoding blob store failed; serving via marshal fallback", "err", err)
 		s.blobs.Store(nil)
@@ -230,8 +240,14 @@ func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
 					prob = defaultProbKey
 				}
 				if zone != "" && typ != "" {
-					if body, ok := et.lookupBlob(zone, typ, prob); ok {
+					tr := traceOf(w)
+					sp := tr.StartSpan("blob.lookup")
+					body, ok := et.lookupBlob(zone, typ, prob)
+					sp.End()
+					if ok {
+						wsp := tr.StartSpan("blob.write")
 						s.writeBlob(w, r, et, body)
+						wsp.End()
 						return
 					}
 				}

@@ -12,6 +12,7 @@ import (
 	"github.com/drafts-go/drafts/internal/core"
 	"github.com/drafts-go/drafts/internal/history"
 	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/trace"
 )
 
 func getBody(t *testing.T, h http.Handler, target string) (int, http.Header, []byte) {
@@ -23,27 +24,58 @@ func getBody(t *testing.T, h http.Handler, target string) (int, http.Header, []b
 }
 
 // TestCachedGetZeroAllocs is the acceptance criterion for the serving fast
-// path: a cached single-table GET performs zero heap allocations.
+// path: a cached single-table GET performs zero heap allocations — both on
+// a bare server and with tracing enabled at a production sampling rate
+// (the unsampled request path must not pay for observability it isn't
+// using).
 func TestCachedGetZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; run without -race")
 	}
-	srv := testServer(t)
-	h := srv.Handler()
-	req := httptest.NewRequest(http.MethodGet,
-		"/v1/predictions?zone=us-east-1b&type=c4.large&probability=0.99", nil)
-	rec := httptest.NewRecorder()
-	// AllocsPerRun's warm-up call absorbs the recorder's one-time header
-	// snapshot; Body.Reset keeps the buffer capacity across runs.
-	allocs := testing.AllocsPerRun(200, func() {
-		rec.Body.Reset()
-		h.ServeHTTP(rec, req)
-	})
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d", rec.Code)
+	// Seed 0 is chosen so the tracer's first 400 deterministic trace IDs
+	// all fall outside the 1% sampling threshold: the loop below pins the
+	// unsampled hot path specifically. Sampling itself is covered by the
+	// trace package's own tests.
+	tracer, err := trace.New(trace.Config{SampleRate: 0.01, Seed: 0, Now: time.Now})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if allocs != 0 {
-		t.Errorf("cached GET allocated %.1f times per request, want 0", allocs)
+	traced, err := New(Config{Source: testStore(t), MaxHistory: 9000, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traced.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	servers := []struct {
+		name string
+		srv  *Server
+	}{
+		{"bare", testServer(t)},
+		{"traced_1pct_unsampled", traced},
+	}
+	for _, tc := range servers {
+		t.Run(tc.name, func(t *testing.T) {
+			h := tc.srv.Handler()
+			req := httptest.NewRequest(http.MethodGet,
+				"/v1/predictions?zone=us-east-1b&type=c4.large&probability=0.99", nil)
+			rec := httptest.NewRecorder()
+			// AllocsPerRun's warm-up call absorbs the recorder's one-time header
+			// snapshot; Body.Reset keeps the buffer capacity across runs.
+			allocs := testing.AllocsPerRun(200, func() {
+				rec.Body.Reset()
+				h.ServeHTTP(rec, req)
+			})
+			if rec.Code != http.StatusOK {
+				t.Fatalf("status %d", rec.Code)
+			}
+			if allocs != 0 {
+				t.Errorf("cached GET allocated %.1f times per request, want 0", allocs)
+			}
+			if hdr := rec.Header().Get(requestIDHeader); tc.srv.cfg.Tracer != nil && hdr != "" {
+				t.Errorf("unsampled traced GET stamped X-Request-Id %q; correlation headers must stay lazy", hdr)
+			}
+		})
 	}
 }
 

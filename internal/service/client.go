@@ -14,6 +14,7 @@ import (
 
 	"github.com/drafts-go/drafts/internal/core"
 	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/trace"
 )
 
 // Client is a typed client for the DrAFTS prediction service — what the
@@ -40,6 +41,12 @@ type Client struct {
 	RetryBackoff time.Duration
 	// HTTPClient defaults to a client with Timeout.
 	HTTPClient *http.Client
+	// Tracer, when non-nil, traces each logical request (all retry
+	// attempts share one trace) and injects the W3C traceparent header so
+	// draftsctl/draftsbench-originated traces cross the wire: the server
+	// adopts the client's trace ID, and its X-Request-Id — in logs, error
+	// envelopes, and /debug/flight — matches the ID the client holds.
+	Tracer *trace.Tracer
 
 	// sleep is the retry delay; tests stub it to run instantly.
 	sleep func(time.Duration)
@@ -131,7 +138,7 @@ func retryAfter(err error) time.Duration {
 	return 0
 }
 
-func (c *Client) get(path string, query url.Values, out any) error {
+func (c *Client) get(path string, query url.Values, out any) (err error) {
 	u, err := url.Parse(c.BaseURL)
 	if err != nil {
 		return fmt.Errorf("service client: bad base URL: %w", err)
@@ -139,6 +146,11 @@ func (c *Client) get(path string, query url.Values, out any) error {
 	u.Path = path
 	u.RawQuery = query.Encode()
 	target := u.String()
+
+	tr := c.Tracer.StartTrace("client")
+	defer tr.End()
+	tr.SetRoute(path)
+	defer func() { tr.Fail(err) }() // Fail(nil) no-ops; runs before End
 
 	backoff := c.RetryBackoff
 	if backoff <= 0 {
@@ -151,7 +163,7 @@ func (c *Client) get(path string, query url.Values, out any) error {
 	var rng *rand.Rand
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		lastErr = c.getOnce(target, out)
+		lastErr = c.getOnce(target, tr, out)
 		if lastErr == nil || attempt >= c.Retries || !retryable(lastErr) {
 			return lastErr
 		}
@@ -171,8 +183,18 @@ func (c *Client) get(path string, query url.Values, out any) error {
 	}
 }
 
-func (c *Client) getOnce(target string, out any) error {
-	resp, err := c.http().Get(target)
+func (c *Client) getOnce(target string, tr *trace.Trace, out any) error {
+	req, err := http.NewRequest(http.MethodGet, target, nil)
+	if err != nil {
+		return fmt.Errorf("service client: building request: %w", err)
+	}
+	// Retries reuse the logical request's trace: every attempt carries the
+	// same trace ID, so the server-side record of a retried request is one
+	// joined story rather than unrelated fragments.
+	if tp := tr.Traceparent(); tp != "" {
+		req.Header.Set(traceparentHeader, tp)
+	}
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
 	}
@@ -297,6 +319,16 @@ func (c *Client) Advise(combo spot.Combo, probability float64, d time.Duration) 
 		Duration:    time.Duration(qj.DurationSeconds * float64(time.Second)),
 		Probability: qj.Probability,
 	}, nil
+}
+
+// Flight fetches the server's flight recorder: the most recent completed
+// traces plus every retained error/shed/slow trace (GET /debug/flight).
+func (c *Client) Flight() (trace.Report, error) {
+	var rep trace.Report
+	if err := c.get("/debug/flight", nil, &rep); err != nil {
+		return trace.Report{}, err
+	}
+	return rep, nil
 }
 
 // BidFor is the common client workflow: fetch the table and pick the

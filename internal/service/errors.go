@@ -46,13 +46,22 @@ type errorEnvelope struct {
 	Error errorDetail `json:"error"`
 }
 
-// writeErr emits the uniform error envelope. The request ID is read back
-// from the response header the middleware stamped, so handlers never
-// thread it explicitly; bare handlers (no middleware) omit the field.
+// writeErr emits the uniform error envelope. The request ID comes from
+// the middleware's statusWriter — materialized from the trace ID at this
+// first moment an error needs it when the lazy tracing path withheld it,
+// stamping the response headers (X-Request-Id and Traceparent) on the
+// way. Handlers never thread it explicitly; bare handlers (no middleware)
+// fall back to whatever header a test stamped, usually nothing.
 func writeErr(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	var rid string
+	if sw, ok := w.(*statusWriter); ok {
+		rid = sw.requestID()
+	} else {
+		rid = w.Header().Get(requestIDHeader)
+	}
 	writeJSON(w, status, errorEnvelope{Error: errorDetail{
 		Code:      code,
 		Message:   fmt.Sprintf(format, args...),
-		RequestID: w.Header().Get(requestIDHeader),
+		RequestID: rid,
 	}})
 }

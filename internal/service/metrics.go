@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/drafts-go/drafts/internal/telemetry"
+	"github.com/drafts-go/drafts/internal/trace"
 )
 
 // serviceMetrics holds every instrument the service records. It is always
@@ -86,20 +87,55 @@ func newServiceMetrics(r *telemetry.Registry) *serviceMetrics {
 }
 
 // statusWriter captures the status code a handler writes, and whether it
-// wrote one at all (the panic-containment path needs to know). Handlers
-// here only use Header/Write/WriteHeader, so no other interfaces are
-// forwarded. Instances are pooled so the instrumented hot path does not
-// allocate a wrapper per request.
+// wrote one at all (the panic-containment path needs to know). It also
+// carries the request's trace — handlers and writeErr reach it through a
+// type assertion, so the hot path never pays a context.WithValue — and
+// the lazily materialized request ID. Handlers here only use
+// Header/Write/WriteHeader, so no other interfaces are forwarded.
+// Instances are pooled so the instrumented hot path does not allocate a
+// wrapper per request.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	wrote  bool
+	tr     *trace.Trace
+	rid    string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// requestID lazily materializes the request's correlation ID — the 32-hex
+// trace ID when tracing is on, a random ID otherwise — and, when the
+// response headers have not been sent yet, stamps X-Request-Id and
+// Traceparent so the wire echoes what the envelope and the logs carry.
+// Error paths are its only callers: an error trace is always retained by
+// the flight recorder, so its traceparent is worth echoing even when the
+// middleware's upfront stamp (unsampled, local) withheld it. The
+// unsampled success path never builds the strings at all.
+func (w *statusWriter) requestID() string {
+	if w.rid == "" {
+		if id := w.tr.IDString(); id != "" {
+			w.rid = id
+		} else {
+			w.rid = randomRequestID()
+		}
+		if !w.wrote {
+			w.Header()[requestIDHeader] = []string{w.rid}
+		}
+	}
+	if !w.wrote {
+		h := w.Header()
+		if _, ok := h[traceparentHeader]; !ok {
+			if tp := w.tr.Traceparent(); tp != "" {
+				h[traceparentHeader] = []string{tp}
+			}
+		}
+	}
+	return w.rid
 }
 
 var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}

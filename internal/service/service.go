@@ -32,6 +32,7 @@ import (
 	"github.com/drafts-go/drafts/internal/resilience"
 	"github.com/drafts-go/drafts/internal/spot"
 	"github.com/drafts-go/drafts/internal/telemetry"
+	"github.com/drafts-go/drafts/internal/trace"
 )
 
 // Source supplies price histories; *history.Store satisfies it.
@@ -124,6 +125,13 @@ type Config struct {
 	// Faults optionally injects failures at the "service.refresh"
 	// operation point. nil (the production default) disables injection.
 	Faults *faults.Set
+	// Tracer, when non-nil, traces every request and refresh cycle into
+	// the always-on flight recorder served at GET /debug/flight, and
+	// unifies X-Request-Id with the trace ID. The unsampled cached-GET
+	// path stays allocation-free (see wrap); sampling, errors-always
+	// retention, and the slow-trace threshold are the Tracer's own
+	// configuration.
+	Tracer *trace.Tracer
 }
 
 // DefaultIncrementalMaxTicks is the default cap on the incremental refresh
@@ -255,8 +263,16 @@ func New(cfg Config) (*Server, error) {
 // one case where the previous table set should stay in place.
 func (s *Server) Refresh() error {
 	began := time.Now()
+	// One trace per refresh cycle, forced into the flight recorder
+	// regardless of sampling: refreshes are rare (minutes apart) and the
+	// cycle's phase timings — tick ingest through snapshot write — are
+	// exactly what a degraded node's operator wants from /debug/flight.
+	tr := s.cfg.Tracer.StartTrace("refresh")
+	defer tr.End()
+	tr.Force()
 	if err := s.cfg.Faults.Check("service.refresh"); err != nil {
 		err = fmt.Errorf("service: refresh failed: %w", err)
+		tr.Fail(err)
 		s.metrics.refreshErrors.Inc()
 		s.mu.Lock()
 		s.lastErr = err.Error()
@@ -264,7 +280,10 @@ func (s *Server) Refresh() error {
 		return err
 	}
 	if s.cfg.PreRefresh != nil {
-		if err := s.cfg.PreRefresh(); err != nil {
+		sp := tr.StartSpan("ticks.ingest")
+		err := s.cfg.PreRefresh()
+		sp.EndErr(err)
+		if err != nil {
 			s.logger.Warn("refresh: pre-refresh hook failed; using histories as they stand", "err", err)
 		}
 	}
@@ -303,6 +322,10 @@ func (s *Server) Refresh() error {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// One span covers the whole fan-out: the per-combo qbets updates and
+	// table builds run inside it (per-combo spans would blow the fixed
+	// span budget at fleet scale).
+	buildSpan := tr.StartSpan("tables.build")
 	work := make(chan spot.Combo)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -364,6 +387,7 @@ func (s *Server) Refresh() error {
 	}
 	close(work)
 	wg.Wait()
+	buildSpan.End()
 
 	elapsed := time.Since(began)
 	s.metrics.refreshDuration.Observe(elapsed.Seconds())
@@ -373,6 +397,7 @@ func (s *Server) Refresh() error {
 
 	if len(fresh) == 0 && errCount > 0 {
 		err := fmt.Errorf("service: refresh produced no tables (%d failures, first: %w)", errCount, firstErr)
+		tr.Fail(err)
 		s.metrics.refreshErrors.Inc()
 		s.mu.Lock()
 		s.lastErr = err.Error()
@@ -391,13 +416,20 @@ func (s *Server) Refresh() error {
 	s.asOf = now
 	s.lastErr = errStr
 	s.mu.Unlock()
-	s.installBlobs(fresh, now)
+	s.installBlobsTraced(fresh, now, tr)
 	s.metrics.tables.Set(float64(len(fresh)))
 	s.metrics.lastSuccess.SetTime(now)
-	s.logger.Info("refresh complete",
-		"tables", len(fresh), "skipped", skipped, "combo_errors", errCount,
-		"incremental", incremental, "elapsed", elapsed.Round(time.Millisecond))
-	s.persist(now)
+	if s.cfg.Tracer != nil {
+		s.logger.Info("refresh complete",
+			"tables", len(fresh), "skipped", skipped, "combo_errors", errCount,
+			"incremental", incremental, "elapsed", elapsed.Round(time.Millisecond),
+			"trace_id", tr.IDString())
+	} else {
+		s.logger.Info("refresh complete",
+			"tables", len(fresh), "skipped", skipped, "combo_errors", errCount,
+			"incremental", incremental, "elapsed", elapsed.Round(time.Millisecond))
+	}
+	s.persist(now, tr)
 	return nil
 }
 
@@ -436,21 +468,31 @@ func (s *Server) extendPredictor(old *core.Predictor, want core.Params, series *
 
 // persist checkpoints the freshly installed serving state and trims WAL
 // segments that have aged out of the retention window. Both are
-// best-effort: a persistence failure costs recovery freshness, not serving.
-func (s *Server) persist(now time.Time) {
+// best-effort: a persistence failure costs recovery freshness, not
+// serving — so failures mark the refresh trace's spans but never fail the
+// trace itself. The store's WAL sync rides inside the snapshot.write span
+// (WriteSnapshot syncs the log before publishing).
+func (s *Server) persist(now time.Time, tr *trace.Trace) {
 	if s.cfg.Durable == nil {
 		return
 	}
+	sp := tr.StartSpan("snapshot.encode")
 	payload, err := s.EncodeSnapshot()
+	sp.EndErr(err)
 	if err != nil {
 		s.logger.Error("refresh: encoding snapshot failed", "err", err)
 		return
 	}
-	if err := s.cfg.Durable.WriteSnapshot(payload); err != nil {
+	wsp := tr.StartSpan("snapshot.write")
+	err = s.cfg.Durable.WriteSnapshot(payload)
+	wsp.EndErr(err)
+	if err != nil {
 		s.logger.Error("refresh: writing snapshot failed", "err", err)
 		return
 	}
+	csp := tr.StartSpan("wal.compact")
 	removed, err := s.cfg.Durable.CompactBefore(now.Add(-history.Retention))
+	csp.EndErr(err)
 	if err != nil {
 		s.logger.Warn("refresh: WAL compaction failed", "err", err)
 		return
@@ -607,17 +649,35 @@ func FromJSON(tj TableJSON) (spot.Combo, core.BidTable) {
 // With a metrics registry configured, every request is recorded in
 // drafts_http_requests_total and drafts_http_request_seconds; with
 // MaxConcurrent configured, /v1/* requests pass weighted admission control
-// and overflow is shed with 503/overloaded + Retry-After. Both run in the
-// same middleware (wrap); with neither configured the bare mux is
-// returned and cached /v1/predictions GETs perform zero heap allocations.
+// and overflow is shed with 503/overloaded + Retry-After. With a Tracer
+// configured, every request is traced, GET /debug/flight serves the
+// flight recorder (admission-exempt, like /healthz), and X-Request-Id is
+// the trace ID. All of it runs in the same middleware (wrap); with none
+// configured the bare mux is returned. Cached /v1/predictions GETs
+// perform zero heap allocations on the bare mux and on the tracing-only
+// configuration (unsampled requests).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	mux.HandleFunc("GET /v1/combos", s.handleCombos)
 	mux.HandleFunc("GET /v1/predictions", s.handlePredictions)
 	mux.HandleFunc("GET /v1/tables", s.handleTables)
 	mux.HandleFunc("GET /v1/advise", s.handleAdvise)
 	return s.wrap(mux)
+}
+
+// handleFlight serves the flight recorder: the most recent completed
+// traces plus every retained error/shed/slow trace, newest first, with
+// the tracer's counters. The payload is bounded by the ring capacities,
+// and the route is deliberately outside /v1/ so admission control never
+// sheds it — it must answer precisely when the service is degraded.
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Tracer == nil {
+		writeErr(w, http.StatusNotFound, codeNotFound, "tracing is not enabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Tracer.Report())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,354 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/trace"
+)
+
+var hex32 = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+func testTracer(t *testing.T, rate float64) *trace.Tracer {
+	t.Helper()
+	tracer, err := trace.New(trace.Config{SampleRate: rate, Seed: 7, Now: time.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tracer
+}
+
+func tracedServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Source == nil {
+		cfg.Source = testStore(t)
+		cfg.MaxHistory = 9000
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestTraceCorrelationHeaders pins the wire contract between the trace ID
+// and the request ID on a bare tracing server (no metrics, no admission):
+// error responses and requests that carried correlation headers of their
+// own get X-Request-Id + Traceparent; an inbound gateway ID still wins
+// over the trace-derived one; plain successful requests stay header-free
+// (the lazy half of the zero-allocation contract).
+func TestTraceCorrelationHeaders(t *testing.T) {
+	srv := tracedServer(t, Config{Tracer: testTracer(t, 0)})
+	h := srv.Handler()
+
+	// An error response on a request with no correlation headers derives
+	// request_id from the trace ID and stamps both headers on the way out.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/predictions", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	rid := env.Error.RequestID
+	if !hex32.MatchString(rid) {
+		t.Fatalf("request_id %q, want 32-hex trace ID", rid)
+	}
+	if got := rec.Header().Get(requestIDHeader); got != rid {
+		t.Errorf("X-Request-Id header %q != envelope request_id %q", got, rid)
+	}
+	tp := rec.Header().Get(traceparentHeader)
+	if !strings.Contains(tp, rid) {
+		t.Errorf("Traceparent %q does not carry trace ID %q", tp, rid)
+	}
+
+	// An inbound traceparent is adopted: the response echoes the remote
+	// trace ID in both the envelope and the headers, under a fresh span ID.
+	const remoteID = "0af7651916cd43dd8448eb211c80319c"
+	inbound := "00-" + remoteID + "-b7ad6b7169203331-01"
+	req := httptest.NewRequest("GET", "/v1/predictions", nil)
+	req.Header.Set(traceparentHeader, inbound)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.RequestID != remoteID {
+		t.Errorf("request_id %q, want adopted remote trace ID %q", env.Error.RequestID, remoteID)
+	}
+	echoed := rec.Header().Get(traceparentHeader)
+	if !strings.HasPrefix(echoed, "00-"+remoteID+"-") {
+		t.Errorf("echoed Traceparent %q does not keep trace ID %q", echoed, remoteID)
+	}
+	if echoed == inbound {
+		t.Error("echoed Traceparent reused the caller's span ID")
+	}
+
+	// A gateway's X-Request-Id outranks the trace-derived ID, but the
+	// Traceparent header still carries the trace.
+	req = httptest.NewRequest("GET", "/v1/predictions", nil)
+	req.Header.Set(requestIDHeader, "gateway-7")
+	req.Header.Set(traceparentHeader, inbound)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.RequestID != "gateway-7" {
+		t.Errorf("request_id %q, want inbound gateway-7", env.Error.RequestID)
+	}
+	if got := rec.Header().Get(traceparentHeader); !strings.HasPrefix(got, "00-"+remoteID+"-") {
+		t.Errorf("Traceparent %q lost the remote trace", got)
+	}
+
+	// A successful request that carried a traceparent gets its correlation
+	// headers echoed even though nothing errored.
+	req = httptest.NewRequest("GET",
+		"/v1/predictions?zone=us-east-1b&type=c4.large&probability=0.99", nil)
+	req.Header.Set(traceparentHeader, inbound)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Header().Get(requestIDHeader); got != remoteID {
+		t.Errorf("remote-traced success: X-Request-Id %q, want %q", got, remoteID)
+	}
+
+	// A plain successful request stays free of correlation headers: the
+	// unsampled happy path must not pay the per-request string.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/v1/predictions?zone=us-east-1b&type=c4.large&probability=0.99", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Header().Get(requestIDHeader); got != "" {
+		t.Errorf("plain success stamped X-Request-Id %q, want none", got)
+	}
+	if got := rec.Header().Get(traceparentHeader); got != "" {
+		t.Errorf("plain success stamped Traceparent %q, want none", got)
+	}
+}
+
+// TestShedTraceUnification is the end-to-end acceptance test for trace/ID
+// unification: one shed 503 produces a single identifier that appears in
+// the error envelope, the slog line, and the /debug/flight error ring —
+// at sample rate zero, because error traces are always retained.
+func TestShedTraceUnification(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tracer := testTracer(t, 0)
+	srv := tracedServer(t, Config{
+		Source:        testStore(t),
+		MaxHistory:    9000,
+		MaxConcurrent: 1,
+		MaxQueue:      0,
+		Tracer:        tracer,
+		Logger:        logger,
+	})
+	h := srv.Handler()
+
+	// Saturate admission: hold the single slot so the next /v1 request is
+	// shed immediately (queue capacity zero).
+	if err := srv.sem.Acquire(httptest.NewRequest("GET", "/", nil).Context(), 1); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.sem.Release(1)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/v1/predictions?zone=us-east-1b&type=c4.large", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != codeOverloaded {
+		t.Fatalf("code %q, want %q", env.Error.Code, codeOverloaded)
+	}
+	rid := env.Error.RequestID
+	if !hex32.MatchString(rid) {
+		t.Fatalf("shed request_id %q, want 32-hex trace ID", rid)
+	}
+
+	// The same ID is in the slog line...
+	if !strings.Contains(logBuf.String(), rid) {
+		t.Errorf("trace ID %s absent from logs:\n%s", rid, logBuf.String())
+	}
+
+	// ...and in the flight recorder's error ring, served over HTTP at
+	// /debug/flight (which admission control never sheds).
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/flight under saturation: status %d, want 200", rec.Code)
+	}
+	var rep trace.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	var found *trace.TraceJSON
+	for i := range rep.Errors {
+		if rep.Errors[i].TraceID == rid {
+			found = &rep.Errors[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("trace %s not in /debug/flight error ring (%d entries)", rid, len(rep.Errors))
+	}
+	if found.Status != http.StatusServiceUnavailable {
+		t.Errorf("flight entry status %d, want 503", found.Status)
+	}
+	if found.RequestID != rid {
+		t.Errorf("flight request_id %q != trace_id %q", found.RequestID, rid)
+	}
+	if found.Error == "" {
+		t.Error("flight entry carries no admission error")
+	}
+	if found.Route != "/v1/predictions" {
+		t.Errorf("flight route %q", found.Route)
+	}
+	var admission bool
+	for _, sp := range found.Spans {
+		if sp.Name == "admission.wait" {
+			admission = true
+			if sp.Error == "" {
+				t.Error("admission.wait span recorded no error")
+			}
+		}
+	}
+	if !admission {
+		t.Error("shed trace lost its admission.wait span")
+	}
+	if rep.Stats.Errors == 0 {
+		t.Error("tracer stats report zero error traces")
+	}
+}
+
+// TestClientServerTracePropagation walks one trace across the wire: the
+// client starts it, injects traceparent with the sampled flag, and the
+// server — itself at sample rate zero — adopts the ID, honours the flag,
+// and retains the trace in its flight recorder under the client's ID.
+func TestClientServerTracePropagation(t *testing.T) {
+	serverTracer := testTracer(t, 0)
+	srv := tracedServer(t, Config{Tracer: serverTracer})
+
+	var captured string
+	inner := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/predictions" {
+			captured = r.Header.Get(traceparentHeader)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	cl := &Client{BaseURL: ts.URL, Tracer: testTracer(t, 1)}
+	if _, err := cl.Predictions(testCombos[0], 0.99); err != nil {
+		t.Fatal(err)
+	}
+
+	c, ok := trace.ParseTraceparent(captured)
+	if !ok {
+		t.Fatalf("client sent unparseable traceparent %q", captured)
+	}
+	if !c.Sampled() {
+		t.Error("sample-all client did not set the sampled flag")
+	}
+	wantID := c.TraceID.String()
+
+	// The server is at rate 0, so only the honoured inbound flag can have
+	// recorded this trace.
+	rep := serverTracer.Report()
+	var found *trace.TraceJSON
+	for i := range rep.Recent {
+		if rep.Recent[i].TraceID == wantID {
+			found = &rep.Recent[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("client trace %s not in server flight recorder (%d recent)", wantID, len(rep.Recent))
+	}
+	if !found.Sampled {
+		t.Error("adopted trace not marked sampled")
+	}
+	if found.Kind != "http" || found.Route != "/v1/predictions" {
+		t.Errorf("flight entry kind=%q route=%q", found.Kind, found.Route)
+	}
+
+	// The typed Flight client reads the same recorder over the wire.
+	rep2, err := cl.Flight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overWire bool
+	for _, tj := range rep2.Recent {
+		if tj.TraceID == wantID {
+			overWire = true
+		}
+	}
+	if !overWire {
+		t.Errorf("trace %s not visible via Client.Flight", wantID)
+	}
+}
+
+// TestRefreshTraceRecorded: every refresh cycle is one forced trace whose
+// phase spans — tick ingest through blob encode — land in the flight
+// recorder even at sample rate zero.
+func TestRefreshTraceRecorded(t *testing.T) {
+	tracer := testTracer(t, 0)
+	pre := false
+	srv := tracedServer(t, Config{
+		Source:     testStore(t),
+		MaxHistory: 9000,
+		Tracer:     tracer,
+		PreRefresh: func() error { pre = true; return nil },
+	})
+	_ = srv
+	if !pre {
+		t.Fatal("PreRefresh hook never ran")
+	}
+
+	rep := tracer.Report()
+	var refresh *trace.TraceJSON
+	for i := range rep.Recent {
+		if rep.Recent[i].Kind == "refresh" {
+			refresh = &rep.Recent[i]
+			break
+		}
+	}
+	if refresh == nil {
+		t.Fatalf("no refresh trace among %d recent flight entries", len(rep.Recent))
+	}
+	spans := map[string]trace.SpanJSON{}
+	for _, sp := range refresh.Spans {
+		spans[sp.Name] = sp
+	}
+	for _, name := range []string{"ticks.ingest", "tables.build", "blob.encode"} {
+		sp, ok := spans[name]
+		if !ok {
+			t.Errorf("refresh trace missing %s span (have %v)", name, refresh.Spans)
+			continue
+		}
+		if sp.OffsetUS == nil || sp.DurUS == nil {
+			t.Errorf("%s span untimed; forced traces must carry phase timings", name)
+		}
+	}
+}

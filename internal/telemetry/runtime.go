@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"math"
+	rtm "runtime/metrics"
+)
+
+// runtimeSamples are the runtime/metrics the service exports: scheduler
+// pressure (goroutines), heap shape (live objects and bytes, total mapped
+// memory), and GC behaviour (cycle count plus pause-time max and p99 from
+// the runtime's own pause histogram). These are the signals that explain a
+// latency regression on a node — a goroutine leak, a heap blow-up, a GC
+// pause storm — without attaching a profiler.
+var runtimeSamples = []struct {
+	name   string // runtime/metrics key
+	metric string
+	help   string
+}{
+	{"/sched/goroutines:goroutines", "drafts_go_goroutines",
+		"Live goroutines."},
+	{"/gc/heap/objects:objects", "drafts_go_heap_objects",
+		"Live objects on the heap."},
+	{"/memory/classes/heap/objects:bytes", "drafts_go_heap_bytes",
+		"Bytes occupied by live heap objects."},
+	{"/memory/classes/total:bytes", "drafts_go_memory_bytes",
+		"Total memory mapped by the Go runtime."},
+	{"/gc/cycles/total:gc-cycles", "drafts_go_gc_cycles_total",
+		"Completed GC cycles."},
+}
+
+// gcPauses is sampled separately: it is a histogram, summarized into two
+// gauges rather than re-exported bucket by bucket.
+const gcPauses = "/gc/pauses:seconds"
+
+// RegisterRuntime wires a runtime/metrics sampler into the registry: each
+// scrape reads one batch of runtime samples and publishes them as gauges,
+// so /metrics always reflects the process at scrape time with no
+// background goroutine. Safe to call on a nil registry.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	samples := make([]rtm.Sample, 0, len(runtimeSamples)+1)
+	gauges := make([]*Gauge, len(runtimeSamples))
+	for i, s := range runtimeSamples {
+		samples = append(samples, rtm.Sample{Name: s.name})
+		gauges[i] = r.Gauge(s.metric, s.help)
+	}
+	samples = append(samples, rtm.Sample{Name: gcPauses})
+	pauseMax := r.Gauge("drafts_go_gc_pause_max_seconds",
+		"Largest GC stop-the-world pause observed over the process lifetime.")
+	pauseP99 := r.Gauge("drafts_go_gc_pause_p99_seconds",
+		"99th-percentile GC pause over the process lifetime (bucket upper bound).")
+
+	r.OnScrape(func() {
+		rtm.Read(samples)
+		for i := range gauges {
+			switch s := samples[i]; s.Value.Kind() {
+			case rtm.KindUint64:
+				gauges[i].Set(float64(s.Value.Uint64()))
+			case rtm.KindFloat64:
+				gauges[i].Set(s.Value.Float64())
+			}
+		}
+		if h := samples[len(samples)-1]; h.Value.Kind() == rtm.KindFloat64Histogram {
+			max, p99 := summarizePauses(h.Value.Float64Histogram())
+			pauseMax.Set(max)
+			pauseP99.Set(p99)
+		}
+	})
+}
+
+// summarizePauses reduces the runtime's cumulative pause histogram to its
+// observed maximum and 99th percentile. Both are bucket upper bounds —
+// conservative, and exact enough for "is GC the problem" triage. Infinite
+// bounds fall back to the adjacent finite edge.
+func summarizePauses(h *rtm.Float64Histogram) (max, p99 float64) {
+	if h == nil || len(h.Counts) == 0 {
+		return 0, 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	target := uint64(math.Ceil(0.99 * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		upper := finiteEdge(h.Buckets, i+1)
+		if cum >= target && p99 == 0 {
+			p99 = upper
+		}
+		max = upper
+	}
+	return max, p99
+}
+
+// finiteEdge returns the bucket edge at i, backing off to the nearest
+// finite edge when the histogram's outermost bounds are ±Inf.
+func finiteEdge(edges []float64, i int) float64 {
+	v := edges[i]
+	if math.IsInf(v, +1) && i > 0 {
+		return edges[i-1]
+	}
+	if math.IsInf(v, -1) && i+1 < len(edges) {
+		return edges[i+1]
+	}
+	return v
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	rtm "runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestOnScrapeHook(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("pulled_value", "Sampled at scrape time.")
+	n := 0.0
+	r.OnScrape(func() { n++; g.Set(n) })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pulled_value 1") {
+		t.Errorf("first scrape did not run the hook:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pulled_value 2") {
+		t.Errorf("second scrape did not re-run the hook:\n%s", buf.String())
+	}
+
+	// Nil-safety: registering on a nil registry and nil hooks no-op.
+	var nilReg *Registry
+	nilReg.OnScrape(func() {})
+	r.OnScrape(nil)
+}
+
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+
+	// Force at least one GC cycle so the pause histogram and cycle counter
+	// are non-trivial.
+	runtime.GC()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"drafts_go_goroutines",
+		"drafts_go_heap_objects",
+		"drafts_go_heap_bytes",
+		"drafts_go_memory_bytes",
+		"drafts_go_gc_cycles_total",
+		"drafts_go_gc_pause_max_seconds",
+		"drafts_go_gc_pause_p99_seconds",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" gauge") {
+			t.Errorf("missing runtime gauge %s", name)
+		}
+	}
+
+	// A live process has at least one goroutine and one GC cycle by now;
+	// zero means the sampler read nothing.
+	if !gaugePositive(r, "drafts_go_goroutines") {
+		t.Error("goroutine gauge not positive after scrape")
+	}
+	if !gaugePositive(r, "drafts_go_gc_cycles_total") {
+		t.Error("gc cycle gauge not positive after a forced GC")
+	}
+
+	// The metric keys this sampler reads must exist in the running
+	// runtime — catches a key renamed across Go versions.
+	known := map[string]bool{}
+	for _, d := range rtm.All() {
+		known[d.Name] = true
+	}
+	for _, s := range runtimeSamples {
+		if !known[s.name] {
+			t.Errorf("runtime/metrics key %q unknown to this Go version", s.name)
+		}
+	}
+	if !known[gcPauses] {
+		t.Errorf("runtime/metrics key %q unknown to this Go version", gcPauses)
+	}
+}
+
+// gaugePositive re-reads the named unlabeled gauge after a scrape.
+func gaugePositive(r *Registry, name string) bool {
+	return r.Gauge(name, "").Value() > 0
+}
+
+func TestSummarizePauses(t *testing.T) {
+	// 100 observations: 99 in the first bucket, 1 in the last. p99 lands on
+	// the first bucket's upper bound; max on the last finite edge.
+	h := &rtm.Float64Histogram{
+		Counts:  []uint64{99, 0, 1},
+		Buckets: []float64{0, 1e-6, 1e-3, math.Inf(+1)},
+	}
+	max, p99 := summarizePauses(h)
+	if p99 != 1e-6 {
+		t.Errorf("p99 = %g, want 1e-6", p99)
+	}
+	if max != 1e-3 {
+		t.Errorf("max = %g, want 1e-3 (finite fallback for +Inf edge)", max)
+	}
+
+	if max, p99 := summarizePauses(&rtm.Float64Histogram{
+		Counts:  []uint64{0, 0},
+		Buckets: []float64{0, 1, 2},
+	}); max != 0 || p99 != 0 {
+		t.Errorf("empty histogram summarized to max=%g p99=%g", max, p99)
+	}
+	if max, p99 := summarizePauses(nil); max != 0 || p99 != 0 {
+		t.Errorf("nil histogram summarized to max=%g p99=%g", max, p99)
+	}
+}

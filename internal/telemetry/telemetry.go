@@ -46,8 +46,9 @@ var DefaultDurationBuckets = []float64{
 // NewRegistry. A nil *Registry is a valid no-op sink: every getter returns
 // a nil instrument whose methods no-op.
 type Registry struct {
-	mu   sync.Mutex
-	fams map[string]*family
+	mu       sync.Mutex
+	fams     map[string]*family
+	onScrape []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -395,11 +396,33 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 
 // --- Exposition ----------------------------------------------------------
 
+// OnScrape registers fn to run at the start of every WritePrometheus
+// call, before the families are snapshotted. It is how pull-model values —
+// runtime/metrics samples, a tracer's counters — become gauges that are
+// exactly as fresh as the scrape reading them. Hooks run outside the
+// registry lock, so they may freely create and set instruments; they must
+// not call WritePrometheus. Nil-safe.
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onScrape = append(r.onScrape, fn)
+	r.mu.Unlock()
+}
+
 // WritePrometheus renders every registered family in Prometheus text
-// format, families sorted by name and series by label values.
+// format, families sorted by name and series by label values. OnScrape
+// hooks run first, so gauge-backed pull values are sampled per scrape.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
+	}
+	r.mu.Lock()
+	hooks := r.onScrape
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
 	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.fams))

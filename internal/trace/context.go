@@ -1,0 +1,28 @@
+package trace
+
+import "context"
+
+// Context plumbing for the non-hot paths (refresh pipeline, outbound
+// clients). The HTTP serving path deliberately avoids context.WithValue —
+// it allocates — and carries the *Trace on the pooled response writer
+// instead.
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying tr.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil — whose methods
+// all no-op — when there is none.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder is the always-on half of the tracing subsystem: two
+// fixed-size rings of completed traces, readable at any time without
+// stopping writers.
+//
+//   - the recent ring holds the last N sampled (or forced) completions —
+//     the "what does normal look like right now" record;
+//   - the error ring holds every error, shed, and over-threshold-latency
+//     trace regardless of sampling, so the one 503 a user is chasing
+//     cannot be evicted by a burst of healthy traffic.
+//
+// Writers are lock-free: publishing is one atomic counter increment plus
+// one atomic pointer swap into a slot. Entries are pooled; on the steady
+// state a recorded trace costs zero heap allocations. The displaced entry
+// is recycled only when no reader is active (an atomic reader count) —
+// otherwise it is simply left to the garbage collector, trading one
+// allocation under a concurrent /debug/flight read for never recycling a
+// buffer a reader may still be copying. Readers take the reader count,
+// load each slot pointer, and deep-copy the immutable entries; they never
+// block a writer.
+const (
+	defaultFlightRecent = 64
+	defaultFlightErrors = 64
+)
+
+// flightEntry is one retained trace. Published entries are immutable: a
+// writer fills the entry before the pointer swap and nothing mutates it
+// until it is recycled, which only happens when no reader can hold it.
+type flightEntry struct {
+	seq      uint64 // publication order, for newest-first reads
+	id       TraceID
+	kind     string
+	route    string
+	errMsg   string
+	status   int
+	sampled  bool
+	start    int64 // unix nanos
+	duration int64 // nanos
+	nspans   int
+	spans    [MaxSpans]spanRec
+}
+
+type spanRec struct {
+	name   string
+	errMsg string
+	start  int64 // unix nanos; 0 when untimed
+	end    int64
+}
+
+type ring struct {
+	slots []atomic.Pointer[flightEntry]
+	head  atomic.Uint64
+}
+
+// Flight is the recorder. The zero value is unusable; Tracer owns one.
+type Flight struct {
+	recent ring
+	errs   ring
+
+	readers atomic.Int64
+	seq     atomic.Uint64
+	pool    sync.Pool // *flightEntry
+
+	recorded atomic.Uint64 // entries published, both rings
+	errored  atomic.Uint64 // entries published to the error ring
+}
+
+func newFlight(recentN, errorN int) *Flight {
+	if recentN <= 0 {
+		recentN = defaultFlightRecent
+	}
+	if errorN <= 0 {
+		errorN = defaultFlightErrors
+	}
+	f := &Flight{}
+	f.recent.slots = make([]atomic.Pointer[flightEntry], recentN)
+	f.errs.slots = make([]atomic.Pointer[flightEntry], errorN)
+	f.pool.New = func() any { return new(flightEntry) }
+	return f
+}
+
+// record captures a completed trace into the appropriate ring. Called by
+// Trace.End only.
+func (f *Flight) record(tr *Trace, duration int64, notable bool) {
+	e := f.pool.Get().(*flightEntry)
+	e.seq = f.seq.Add(1)
+	e.id = tr.id
+	e.kind = tr.kind
+	e.route = tr.route
+	e.errMsg = tr.errMsg
+	e.status = tr.status
+	e.sampled = tr.sampled
+	e.start = tr.start
+	e.duration = duration
+	n := int(tr.n.Load())
+	if n > MaxSpans {
+		n = MaxSpans
+	}
+	e.nspans = n
+	for i := 0; i < n; i++ {
+		sp := &tr.spans[i]
+		e.spans[i] = spanRec{name: sp.name, errMsg: sp.errMsg, start: sp.start, end: sp.end}
+	}
+	r := &f.recent
+	if notable {
+		r = &f.errs
+		f.errored.Add(1)
+	}
+	f.recorded.Add(1)
+	i := r.head.Add(1) - 1
+	old := r.slots[i%uint64(len(r.slots))].Swap(e)
+	// Recycle the displaced entry only when no /debug/flight read is in
+	// flight: a reader that began after our swap sees the new pointer, so
+	// readers==0 here proves nobody holds old. Otherwise old is left for
+	// the GC — correctness over reuse.
+	if old != nil && f.readers.Load() == 0 {
+		f.pool.Put(old)
+	}
+}
+
+// TraceJSON is one flight-recorder trace on the wire.
+type TraceJSON struct {
+	TraceID   string     `json:"trace_id"`
+	RequestID string     `json:"request_id"` // same value; spelled out for joinability
+	Kind      string     `json:"kind"`
+	Route     string     `json:"route,omitempty"`
+	Status    int        `json:"status,omitempty"`
+	Sampled   bool       `json:"sampled"`
+	Start     time.Time  `json:"start"`
+	DurMS     float64    `json:"duration_ms"`
+	Error     string     `json:"error,omitempty"`
+	Spans     []SpanJSON `json:"spans,omitempty"`
+}
+
+// SpanJSON is one span on the wire. Offsets are relative to the trace
+// start; untimed spans (structure captured on an unsampled error trace)
+// carry null timings.
+type SpanJSON struct {
+	Name     string   `json:"name"`
+	OffsetUS *float64 `json:"offset_us,omitempty"`
+	DurUS    *float64 `json:"duration_us,omitempty"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// Report is the bounded /debug/flight payload.
+type Report struct {
+	Stats  Stats       `json:"stats"`
+	Recent []TraceJSON `json:"recent"`
+	Errors []TraceJSON `json:"errors"`
+}
+
+// Report assembles the JSON view of the recorder plus the tracer's
+// counters: both rings, newest first. The read allocates (it is the debug
+// path) but is strictly bounded by the ring capacities.
+func (t *Tracer) Report() Report {
+	if t == nil {
+		return Report{}
+	}
+	f := t.flight
+	f.readers.Add(1)
+	defer f.readers.Add(-1)
+	return Report{
+		Stats:  t.Stats(),
+		Recent: f.recent.collect(),
+		Errors: f.errs.collect(),
+	}
+}
+
+func (r *ring) collect() []TraceJSON {
+	type seqTrace struct {
+		seq uint64
+		tj  TraceJSON
+	}
+	entries := make([]seqTrace, 0, len(r.slots))
+	for i := range r.slots {
+		e := r.slots[i].Load()
+		if e == nil {
+			continue
+		}
+		tj := TraceJSON{
+			TraceID:   e.id.String(),
+			RequestID: e.id.String(),
+			Kind:      e.kind,
+			Route:     e.route,
+			Status:    e.status,
+			Sampled:   e.sampled,
+			Start:     time.Unix(0, e.start).UTC(),
+			DurMS:     float64(e.duration) / 1e6,
+			Error:     e.errMsg,
+		}
+		for j := 0; j < e.nspans; j++ {
+			sp := e.spans[j]
+			sj := SpanJSON{Name: sp.name, Error: sp.errMsg}
+			if sp.start != 0 {
+				off := float64(sp.start-e.start) / 1e3
+				dur := float64(sp.end-sp.start) / 1e3
+				sj.OffsetUS = &off
+				sj.DurUS = &dur
+			}
+			tj.Spans = append(tj.Spans, sj)
+		}
+		entries = append(entries, seqTrace{seq: e.seq, tj: tj})
+	}
+	// Newest first, by publication sequence (robust even under a frozen
+	// test clock).
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq > entries[j].seq })
+	out := make([]TraceJSON, len(entries))
+	for i, e := range entries {
+		out[i] = e.tj
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightConcurrentReadersAndWriters is the flight recorder's -race
+// gate: many goroutines completing traces (some sampled, some errors,
+// forcing both rings to churn and recycle entries) while readers
+// continuously snapshot /debug/flight's Report. The assertions are
+// deliberately weak — the test's job is to give the race detector a dense
+// interleaving of ring writes, entry recycling, and deep-copy reads.
+func TestFlightConcurrentReadersAndWriters(t *testing.T) {
+	tr, err := New(Config{
+		SampleRate:   0.5,
+		Seed:         99,
+		Now:          time.Now,
+		FlightRecent: 8,
+		FlightErrors: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers  = 8
+		readers  = 4
+		perGoro  = 2000
+		failMod  = 3
+		spanEach = 4
+	)
+	var wg sync.WaitGroup
+	errBoom := errors.New("boom")
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				a := tr.StartTrace("http")
+				a.SetRoute("/v1/predictions")
+				for s := 0; s < spanEach; s++ {
+					sp := a.StartSpan("blob.lookup")
+					sp.End()
+				}
+				if i%failMod == 0 {
+					a.SetStatus(503)
+					a.Fail(errBoom)
+				} else {
+					a.SetStatus(200)
+				}
+				a.End()
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rep := tr.Report()
+				if len(rep.Recent) > 8 || len(rep.Errors) > 8 {
+					t.Errorf("report exceeds ring bounds: %d recent, %d errors",
+						len(rep.Recent), len(rep.Errors))
+					return
+				}
+				for _, e := range rep.Errors {
+					if e.Status != 503 && e.Error == "" {
+						t.Errorf("error ring holds a healthy trace: %+v", e)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	stats := tr.Stats()
+	if stats.Started != writers*perGoro {
+		t.Fatalf("started %d, want %d", stats.Started, writers*perGoro)
+	}
+	if stats.Errors == 0 {
+		t.Fatal("no error traces recorded")
+	}
+	rep := tr.Report()
+	if len(rep.Errors) != 8 {
+		t.Fatalf("error ring holds %d, want full capacity 8", len(rep.Errors))
+	}
+}

@@ -1,0 +1,36 @@
+package trace
+
+import "testing"
+
+// FuzzTraceparent hammers the allocation-free header parser: any input
+// must either be cleanly rejected or round-trip through FormatTraceparent
+// into a value that re-parses to the same identifiers.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-suffix")
+	f.Add("")
+	f.Add("00-x-y-01")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, ok := ParseTraceparent(s)
+		if !ok {
+			if c != (Carrier{}) {
+				t.Fatalf("rejected input %q returned non-zero carrier %+v", s, c)
+			}
+			return
+		}
+		if c.TraceID.IsZero() || c.SpanID.IsZero() {
+			t.Fatalf("accepted zero ID from %q", s)
+		}
+		hdr := FormatTraceparent(c.TraceID, c.SpanID, c.Sampled())
+		c2, ok2 := ParseTraceparent(hdr)
+		if !ok2 {
+			t.Fatalf("formatted header %q does not re-parse", hdr)
+		}
+		if c2.TraceID != c.TraceID || c2.SpanID != c.SpanID || c2.Sampled() != c.Sampled() {
+			t.Fatalf("round trip mismatch: %q -> %+v -> %q -> %+v", s, c, hdr, c2)
+		}
+	})
+}

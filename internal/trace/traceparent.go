@@ -1,0 +1,128 @@
+package trace
+
+// W3C trace-context (https://www.w3.org/TR/trace-context/) traceparent
+// handling. The header is the fixed-layout
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ ^^^^^^^^^^^^^^ 32-hex trace-id ^ 16-hex parent ^^ flags
+//
+// Parsing is allocation-free: the header value is decoded byte-by-byte
+// into fixed arrays, never split or copied.
+
+// traceparentLen is the exact length of a version-00 traceparent value.
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// FlagSampled is the traceparent trace-flags bit recording the caller's
+// sampling decision.
+const FlagSampled = 0x01
+
+// Carrier is a parsed traceparent: the propagated identifiers plus the
+// upstream trace flags.
+type Carrier struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// Sampled reports the carrier's sampled flag.
+func (c Carrier) Sampled() bool { return c.Flags&FlagSampled != 0 }
+
+// ParseTraceparent decodes a traceparent header value without allocating.
+// It accepts version 00 exactly, and higher hex versions whose prefix
+// follows the version-00 layout (per the spec's forward-compatibility
+// rule); version ff, malformed hex, wrong lengths, and all-zero IDs are
+// rejected with ok=false.
+func ParseTraceparent(s string) (c Carrier, ok bool) {
+	if len(s) < traceparentLen {
+		return Carrier{}, false
+	}
+	ver, ok := hexByte(s[0], s[1])
+	if !ok || ver == 0xff {
+		return Carrier{}, false
+	}
+	if ver == 0 && len(s) != traceparentLen {
+		return Carrier{}, false
+	}
+	if len(s) > traceparentLen && s[traceparentLen] != '-' {
+		return Carrier{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return Carrier{}, false
+	}
+	if !hexDecode(c.TraceID[:], s[3:35]) || !hexDecode(c.SpanID[:], s[36:52]) {
+		return Carrier{}, false
+	}
+	flags, ok := hexByte(s[53], s[54])
+	if !ok {
+		return Carrier{}, false
+	}
+	c.Flags = flags
+	if c.TraceID.IsZero() || c.SpanID.IsZero() {
+		return Carrier{}, false
+	}
+	return c, true
+}
+
+// FormatTraceparent renders a version-00 traceparent value (allocates one
+// string; used on outbound requests and echoed responses, not the
+// unsampled hot path).
+func FormatTraceparent(tid TraceID, sid SpanID, sampled bool) string {
+	var buf [traceparentLen]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hexEncode(buf[3:35], tid[:])
+	buf[35] = '-'
+	hexEncode(buf[36:52], sid[:])
+	buf[52] = '-'
+	flags := byte(0)
+	if sampled {
+		flags = FlagSampled
+	}
+	buf[53] = hexDigits[flags>>4]
+	buf[54] = hexDigits[flags&0x0f]
+	return string(buf[:])
+}
+
+const hexDigits = "0123456789abcdef"
+
+// hexEncode writes src as lower-case hex into dst (len(dst) = 2*len(src)).
+func hexEncode(dst, src []byte) {
+	for i, b := range src {
+		dst[2*i] = hexDigits[b>>4]
+		dst[2*i+1] = hexDigits[b&0x0f]
+	}
+}
+
+// hexDecode fills dst from the hex string s (len(s) = 2*len(dst)),
+// accepting lower-case hex only, as the W3C spec requires.
+func hexDecode(dst []byte, s string) bool {
+	for i := range dst {
+		b, ok := hexByte(s[2*i], s[2*i+1])
+		if !ok {
+			return false
+		}
+		dst[i] = b
+	}
+	return true
+}
+
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok := hexNibble(hi)
+	if !ok {
+		return 0, false
+	}
+	l, ok := hexNibble(lo)
+	if !ok {
+		return 0, false
+	}
+	return h<<4 | l, true
+}
+
+func hexNibble(b byte) (byte, bool) {
+	switch {
+	case b >= '0' && b <= '9':
+		return b - '0', true
+	case b >= 'a' && b <= 'f':
+		return b - 'a' + 10, true
+	}
+	return 0, false
+}
