@@ -1,7 +1,9 @@
-// Command draftsvet runs the repository's static-analysis suite: six
+// Command draftsvet runs the repository's static-analysis suite: twelve
 // project-specific analyzers enforcing the determinism, numeric-safety
 // and concurrency invariants the DrAFTS reproduction depends on (see
-// DESIGN.md, "Static analysis").
+// DESIGN.md, "Static analysis"). Eight are per-statement checks; four
+// (goleak, lockorder, ctxflow, hotalloc) run on the control-flow graph
+// and call graph the framework builds over every function body.
 //
 // Usage:
 //
@@ -9,6 +11,15 @@
 //	go run ./cmd/draftsvet ./internal/market     # one package
 //	go run ./cmd/draftsvet -run floatcmp ./...   # a subset of analyzers
 //	go run ./cmd/draftsvet -list                 # analyzer inventory
+//	go run ./cmd/draftsvet -json ./...           # findings as JSON
+//	go run ./cmd/draftsvet -github ./...         # GitHub ::error annotations
+//	go run ./cmd/draftsvet -escape               # verify //drafts:nonalloc
+//
+// -escape replaces the analyzer pass with the compiler-backed escape
+// check: every //drafts:nonalloc function is rebuilt with
+// -gcflags=-m=2 and any heap escape inside one is a finding. The check
+// fails closed — a build failure, missing compiler output, or a module
+// with no annotations at all exits 2 rather than reporting success.
 //
 // Exit status is 0 with no findings, 1 when any analyzer reports a
 // finding, and 2 when loading or type-checking fails. Individual findings
@@ -17,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,10 +47,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	runSpec := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "print the analyzer inventory and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	github := fs.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	escape := fs.Bool("escape", false, "verify //drafts:nonalloc functions against compiler escape analysis")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	logger := telemetry.NewLogger(stderr, "warn", false)
+
+	if *escape {
+		diags, err := analysis.EscapeCheck(".")
+		if err != nil {
+			logger.Error("escape check failed", "err", err)
+			return 2
+		}
+		return report(diags, *asJSON, *github, stdout, stderr)
+	}
 
 	analyzers, err := analysis.Select(*runSpec)
 	if err != nil {
@@ -52,13 +76,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	n, err := analysis.Run(fs.Args(), analyzers, stdout)
+	diags, err := analysis.RunDiagnostics(fs.Args(), analyzers)
 	if err != nil {
 		logger.Error("analysis failed", "err", err)
 		return 2
 	}
-	if n > 0 {
-		fmt.Fprintf(stderr, "draftsvet: %d finding(s)\n", n)
+	return report(diags, *asJSON, *github, stdout, stderr)
+}
+
+// jsonDiagnostic is the stable machine-readable shape of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// report renders the findings in the selected format and maps them to
+// the exit code. -json and -github compose: JSON goes to stdout for
+// machines, annotations to stderr where the Actions runner scans them.
+func report(diags []analysis.Diagnostic, asJSON, github bool, stdout, stderr io.Writer) int {
+	if asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "draftsvet: encoding findings: %v\n", err)
+			return 2
+		}
+	}
+	if github {
+		for _, d := range diags {
+			fmt.Fprintf(stderr, "::error file=%s,line=%d,col=%d,title=draftsvet/%s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if !asJSON && !github {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "draftsvet: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0

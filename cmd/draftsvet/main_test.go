@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -74,12 +75,72 @@ func TestPositiveFixturesAllFail(t *testing.T) {
 	}
 }
 
+// TestJSONOutput pins the machine-readable format: a JSON array on
+// stdout with per-finding file/line/col/analyzer/message fields, while
+// the exit code still signals findings.
+func TestJSONOutput(t *testing.T) {
+	chdirModuleRoot(t)
+	dir := filepath.Join("internal", "analysis", "testdata", "src", "detclock_pos")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-json", "-run", "detclock", dir}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run(-json) = %d, want 1\nstderr:\n%s", got, stderr.String())
+	}
+	var findings []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON array is empty despite exit 1")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "detclock" || f.Line <= 0 || f.Col <= 0 ||
+			!strings.HasSuffix(f.File, "fixture.go") || f.Message == "" {
+			t.Errorf("malformed finding: %+v", f)
+		}
+		if strings.HasPrefix(f.File, "/") {
+			t.Errorf("file not module-relative: %s", f.File)
+		}
+	}
+}
+
+// TestGitHubAnnotations checks the ::error lines CI feeds to the Actions
+// runner.
+func TestGitHubAnnotations(t *testing.T) {
+	chdirModuleRoot(t)
+	dir := filepath.Join("internal", "analysis", "testdata", "src", "detclock_pos")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-github", "-run", "detclock", dir}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run(-github) = %d, want 1", got)
+	}
+	if !strings.Contains(stderr.String(), "::error file=") ||
+		!strings.Contains(stderr.String(), "title=draftsvet/detclock::") {
+		t.Fatalf("missing ::error annotation:\n%s", stderr.String())
+	}
+}
+
+// TestEscapeMode drives the compiler-backed annotation check over the
+// repository itself: the tree's annotations must verify, exit 0.
+func TestEscapeMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go build; skipped in -short")
+	}
+	chdirModuleRoot(t)
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-escape"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run(-escape) = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			got, stdout.String(), stderr.String())
+	}
+}
+
 func TestListOutput(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
 		t.Fatalf("run(-list) = %d, want 0", got)
 	}
-	for _, name := range []string{"detclock", "detrand", "floatcmp", "errdrop", "metricslot", "maporder"} {
+	for _, name := range []string{
+		"detclock", "detrand", "floatcmp", "errdrop", "metricslot", "maporder",
+		"faultgate", "spanend", "goleak", "lockorder", "ctxflow", "hotalloc",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}

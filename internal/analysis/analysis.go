@@ -62,6 +62,7 @@ type Pass struct {
 	Pkg        *types.Package
 	Info       *types.Info
 
+	pkg     *Package
 	ignores ignoreIndex
 	sink    *[]Diagnostic
 }
@@ -201,6 +202,10 @@ func Analyzers() []*Analyzer {
 		MapOrder,
 		FaultGate,
 		SpanEnd,
+		GoLeak,
+		LockOrder,
+		CtxFlow,
+		HotAlloc,
 	}
 }
 
@@ -244,6 +249,7 @@ func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			ModulePath: pkg.ModulePath,
 			Pkg:        pkg.Types,
 			Info:       pkg.Info,
+			pkg:        pkg,
 			ignores:    ignores,
 			sink:       &diags,
 		}

@@ -1,0 +1,463 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// This file is the flow-sensitive layer under the concurrency and
+// lifecycle analyzers (goleak, lockorder, ctxflow): a stdlib-only
+// basic-block control-flow graph over one function body. The builder
+// mirrors the shape of golang.org/x/tools/go/cfg closely enough that the
+// analyzers read like their x/tools counterparts, but it is grown from
+// go/ast alone so the module keeps its zero-dependency build.
+//
+// Each Block holds the statements (and control expressions) that execute
+// straight-line, in order, plus the successor edges control can take
+// afterwards. Two synthetic blocks bracket every graph: Entry (no
+// statements, one successor) and Exit, which every return, every panic,
+// and the fall-off-the-end path feed. Deferred calls are not modeled as
+// edges — they run on *every* exit path, so analyzers treat the registered
+// defer list (CFG.Defers) as obligations discharged at Exit.
+
+// Block is one basic block: statements that execute consecutively with no
+// branch in or out except at the boundaries.
+type Block struct {
+	// Index is the block's position in CFG.Blocks; Entry is always 0.
+	Index int
+	// Kind names what created the block ("entry", "exit", "if.then",
+	// "for.head", "select.case", ...) for debug output and tests.
+	Kind string
+	// Nodes are the statements and control expressions executed in this
+	// block, in execution order. Branch conditions appear in the block
+	// that evaluates them (an if's condition sits in the block whose
+	// successors are the then/else blocks).
+	Nodes []ast.Node
+	// Succs are the blocks control may reach next. Exit has none.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *Block
+	// Exit is the synthetic sink: returns, panics, and falling off the
+	// end all edge here. Deferred calls conceptually run on entry to it.
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists every defer statement in the body in source order,
+	// including conditionally registered ones. Analyzers that treat a
+	// deferred call as discharging an obligation accept any of them —
+	// path-sensitive defer registration is rare enough that the tree
+	// spells it with an ignore directive instead.
+	Defers []*ast.DeferStmt
+}
+
+// DebugString renders the graph one block per line:
+//
+//	b0 entry [0 nodes] -> b1
+//	b1 body [3 nodes] -> b2 b3
+//
+// The format is pinned by the CFG unit tests.
+func (c *CFG) DebugString() string {
+	var b strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&b, "b%d %s [%d nodes] ->", blk.Index, blk.Kind, len(blk.Nodes))
+		if len(blk.Succs) == 0 {
+			b.WriteString(" (none)")
+		}
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, " b%d", s.Index)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// cfgBuilder carries the construction state: the block under construction
+// and the targets break/continue/goto statements resolve to.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// breakTargets/continueTargets are innermost-first stacks; the label
+	// is "" for unlabeled loops/switches and the statement label
+	// otherwise.
+	breakTargets    []branchTarget
+	continueTargets []branchTarget
+	labels          map[string]*Block // goto targets, pre-created on demand
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+// BuildCFG constructs the control-flow graph of one function body. A nil
+// body (declaration without body) yields a trivial entry→exit graph.
+// Nested function literals are *not* descended into — each gets its own
+// graph from its own BuildCFG call; their bodies execute on someone
+// else's schedule.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	first := b.newBlock("body")
+	b.edge(b.cfg.Entry, first)
+	b.cur = first
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	// Falling off the end of the body returns.
+	b.edge(b.cur, b.cfg.Exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startUnreachable parks construction in a fresh block with no
+// predecessors, used after terminating statements (return, panic, break)
+// so trailing dead code still lands somewhere without edging to Exit.
+func (b *cfgBuilder) startUnreachable() {
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.startUnreachable()
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.cur.Nodes = append(b.cur.Nodes, s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isTerminatingCall(s.X) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.startUnreachable()
+		}
+
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec, empty
+		// statements: straight-line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// isTerminatingCall reports whether expr is a call that never returns:
+// panic, or os.Exit and the log.Fatal family (matched syntactically — the
+// CFG layer has no type information).
+func isTerminatingCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		name := fun.Sel.Name
+		return (pkg.Name == "os" && name == "Exit") ||
+			(pkg.Name == "log" && strings.HasPrefix(name, "Fatal"))
+	}
+	return false
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+	condBlock := b.cur
+
+	join := b.newBlock("if.join")
+	then := b.newBlock("if.then")
+	b.edge(condBlock, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, join)
+
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(condBlock, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(condBlock, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	join := b.newBlock("for.join")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+	}
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.edge(head, body)
+		b.edge(head, join)
+	} else {
+		// for {}: the only way to join is break.
+		b.edge(head, body)
+	}
+	b.pushLoop(label, join, post)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, post)
+	b.popLoop()
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	head.Nodes = append(head.Nodes, s.X)
+	body := b.newBlock("range.body")
+	join := b.newBlock("range.join")
+	b.edge(b.cur, head)
+	b.edge(head, body)
+	b.edge(head, join)
+	b.pushLoop(label, join, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head)
+	b.popLoop()
+	b.cur = join
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	if s.Tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+	}
+	b.caseClauses(s.Body.List, label, true)
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+	b.caseClauses(s.Body.List, label, false)
+}
+
+// caseClauses wires a (type) switch: the dispatching block edges to every
+// case; without a default it also edges to the join. allowFallthrough
+// threads each case's fallthrough edge to the next case body.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, label string, allowFallthrough bool) {
+	dispatch := b.cur
+	join := b.newBlock("switch.join")
+	b.breakTargets = append(b.breakTargets,
+		branchTarget{label: "", block: join}, branchTarget{label: label, block: join})
+
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		blk := b.newBlock("switch.case")
+		bodies[i] = blk
+		if cc.List == nil {
+			hasDefault = true
+		} else {
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+		}
+		b.edge(dispatch, blk)
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		b.cur = bodies[i]
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && allowFallthrough {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(clauses) {
+			b.edge(b.cur, bodies[i+1])
+		} else {
+			b.edge(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		b.edge(dispatch, join)
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-2]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	dispatch := b.cur
+	join := b.newBlock("select.join")
+	b.breakTargets = append(b.breakTargets,
+		branchTarget{label: "", block: join}, branchTarget{label: label, block: join})
+
+	for _, cl := range s.Body.List {
+		cc := cl.(*ast.CommClause)
+		blk := b.newBlock("select.case")
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.edge(dispatch, blk)
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+	}
+	// An empty select blocks forever: no successors at all.
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-2]
+	b.cur = join
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, s.Label.Name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, s.Label.Name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, s.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, s.Label.Name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, s.Label.Name)
+	default:
+		// A plain labeled statement: a goto target.
+		target := b.gotoTarget(s.Label.Name)
+		b.edge(b.cur, target)
+		b.cur = target
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *cfgBuilder) gotoTarget(name string) *Block {
+	if b.labels == nil {
+		b.labels = make(map[string]*Block)
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := findTarget(b.breakTargets, label); t != nil {
+			b.edge(b.cur, t)
+		}
+		b.startUnreachable()
+	case "continue":
+		if t := findTarget(b.continueTargets, label); t != nil {
+			b.edge(b.cur, t)
+		}
+		b.startUnreachable()
+	case "goto":
+		b.edge(b.cur, b.gotoTarget(label))
+		b.startUnreachable()
+	case "fallthrough":
+		// Handled inside caseClauses; a stray one is dead.
+	}
+}
+
+// findTarget resolves the innermost matching break/continue target: every
+// loop/switch/select pushes an unlabeled entry, so label "" finds the
+// innermost construct and a label finds its named one.
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// pushLoop registers a loop's break/continue targets. Labeled loops are
+// reachable both by their label and as the innermost unlabeled loop.
+func (b *cfgBuilder) pushLoop(label string, breakTo, continueTo *Block) {
+	b.breakTargets = append(b.breakTargets, branchTarget{label: "", block: breakTo})
+	b.continueTargets = append(b.continueTargets, branchTarget{label: "", block: continueTo})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, branchTarget{label: label, block: breakTo})
+		b.continueTargets = append(b.continueTargets, branchTarget{label: label, block: continueTo})
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	n := 1
+	if len(b.breakTargets) >= 2 && b.breakTargets[len(b.breakTargets)-1].label != "" {
+		n = 2
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-n]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-n]
+}

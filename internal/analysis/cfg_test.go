@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFor parses a function body and returns its CFG. src is the body's
+// statement list.
+func buildFor(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// wantGraph compares the debug rendering line by line.
+func wantGraph(t *testing.T, c *CFG, want string) {
+	t.Helper()
+	got := strings.TrimSpace(c.DebugString())
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("graph mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildFor(t, "x := 1\n_ = x")
+	wantGraph(t, c, `
+b0 entry [0 nodes] -> b2
+b1 exit [0 nodes] -> (none)
+b2 body [2 nodes] -> b1`)
+}
+
+func TestCFGIfElse(t *testing.T) {
+	c := buildFor(t, `
+if x := 1; x > 0 {
+	_ = x
+} else {
+	_ = -x
+}
+_ = 2`)
+	// Cond block b2 (init+cond) branches to then b4 and else b5; both
+	// join in b3, which falls to exit.
+	wantGraph(t, c, `
+b0 entry [0 nodes] -> b2
+b1 exit [0 nodes] -> (none)
+b2 body [2 nodes] -> b4 b5
+b3 if.join [1 nodes] -> b1
+b4 if.then [1 nodes] -> b3
+b5 if.else [1 nodes] -> b3`)
+}
+
+func TestCFGIfReturn(t *testing.T) {
+	c := buildFor(t, `
+if true {
+	return
+}
+_ = 1`)
+	wantGraph(t, c, `
+b0 entry [0 nodes] -> b2
+b1 exit [0 nodes] -> (none)
+b2 body [1 nodes] -> b4 b3
+b3 if.join [1 nodes] -> b1
+b4 if.then [1 nodes] -> b1
+b5 unreachable [0 nodes] -> b3`)
+}
+
+func TestCFGForLoop(t *testing.T) {
+	c := buildFor(t, `
+for i := 0; i < 3; i++ {
+	if i == 1 {
+		break
+	}
+	if i == 2 {
+		continue
+	}
+	_ = i
+}
+_ = 9`)
+	got := c.DebugString()
+	// The head must branch to both body and join, the break edge must hit
+	// the join, and the continue edge the post block (which loops to head).
+	for _, want := range []string{
+		"b3 for.head [1 nodes] -> b4 b5",
+		"b6 for.post [1 nodes] -> b3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	// Exactly one block edges into exit besides returns: the final join.
+	if !strings.Contains(got, "b5 for.join [1 nodes] -> b1") {
+		t.Errorf("loop join does not reach exit:\n%s", got)
+	}
+}
+
+func TestCFGForever(t *testing.T) {
+	c := buildFor(t, `
+for {
+	_ = 1
+}`)
+	got := c.DebugString()
+	// A condition-less loop's head edges only to the body; the join is
+	// unreachable (and the fall-off edge from it is the only path to
+	// exit, which can never be taken).
+	if !strings.Contains(got, "b3 for.head [0 nodes] -> b4") ||
+		strings.Contains(got, "b3 for.head [0 nodes] -> b4 b5") {
+		t.Errorf("for{} head must edge to body only:\n%s", got)
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	c := buildFor(t, `
+xs := []int{1}
+for _, x := range xs {
+	_ = x
+}
+_ = 2`)
+	wantGraph(t, c, `
+b0 entry [0 nodes] -> b2
+b1 exit [0 nodes] -> (none)
+b2 body [1 nodes] -> b3
+b3 range.head [1 nodes] -> b4 b5
+b4 range.body [1 nodes] -> b3
+b5 range.join [1 nodes] -> b1`)
+}
+
+func TestCFGSwitch(t *testing.T) {
+	c := buildFor(t, `
+switch x := 1; x {
+case 1:
+	_ = x
+	fallthrough
+case 2:
+	_ = x
+default:
+	return
+}
+_ = 3`)
+	got := c.DebugString()
+	// Dispatch edges to all three cases but NOT to the join (there is a
+	// default); case 1 falls through to case 2's body.
+	if !strings.Contains(got, "b2 body [2 nodes] -> b4 b5 b6") {
+		t.Errorf("dispatch edges wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "b4 switch.case [2 nodes] -> b5") {
+		t.Errorf("fallthrough edge missing:\n%s", got)
+	}
+	if !strings.Contains(got, "b6 switch.case [1 nodes] -> b1") {
+		t.Errorf("default's return must edge to exit:\n%s", got)
+	}
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	c := buildFor(t, `
+switch 1 {
+case 1:
+	_ = 1
+}
+_ = 2`)
+	got := c.DebugString()
+	// Without a default, dispatch must also edge straight to the join.
+	if !strings.Contains(got, "b2 body [1 nodes] -> b4 b3") {
+		t.Errorf("no-default dispatch must edge to join:\n%s", got)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c := buildFor(t, `
+ch := make(chan int)
+select {
+case <-ch:
+	_ = 1
+case v := <-ch:
+	_ = v
+}
+_ = 2`)
+	wantGraph(t, c, `
+b0 entry [0 nodes] -> b2
+b1 exit [0 nodes] -> (none)
+b2 body [1 nodes] -> b4 b5
+b3 select.join [1 nodes] -> b1
+b4 select.case [2 nodes] -> b3
+b5 select.case [2 nodes] -> b3`)
+}
+
+func TestCFGDefer(t *testing.T) {
+	c := buildFor(t, `
+defer println(1)
+if true {
+	defer println(2)
+}`)
+	if len(c.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2 (conditional ones included)", len(c.Defers))
+	}
+}
+
+func TestCFGPanicEdges(t *testing.T) {
+	c := buildFor(t, `
+if true {
+	panic("boom")
+}
+_ = 1`)
+	got := c.DebugString()
+	// The panic statement's block must edge to exit, and the code after
+	// it must be parked unreachable.
+	if !strings.Contains(got, "b4 if.then [1 nodes] -> b1") {
+		t.Errorf("panic must edge to exit:\n%s", got)
+	}
+	if !strings.Contains(got, "unreachable") {
+		t.Errorf("statements after panic must be unreachable:\n%s", got)
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	c := buildFor(t, `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	_ = i`)
+	got := c.DebugString()
+	// The goto must edge back to the label block.
+	if !strings.Contains(got, "label.loop") {
+		t.Fatalf("no label block:\n%s", got)
+	}
+	// Find the label block index, then require some later block to edge
+	// back to it (the goto's block).
+	var labelIdx string
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "label.loop") {
+			labelIdx = strings.Fields(line)[0]
+		}
+	}
+	backEdges := 0
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, labelIdx+" ") {
+			continue
+		}
+		if strings.Contains(line, "-> "+labelIdx) || strings.HasSuffix(line, " "+labelIdx) ||
+			strings.Contains(line+" ", " "+labelIdx+" ") {
+			backEdges++
+		}
+	}
+	if backEdges < 2 { // entry fall-in plus the goto
+		t.Errorf("expected fall-in and goto edges to %s:\n%s", labelIdx, got)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := buildFor(t, `
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	_ = 1`)
+	got := c.DebugString()
+	// The labeled break must edge to the OUTER join, which then reaches
+	// exit; without it nothing would.
+	reachesExit := false
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "for.join") && strings.Contains(line, "-> b1") {
+			reachesExit = true
+		}
+	}
+	if !reachesExit {
+		t.Errorf("labeled break must make the outer join reach exit:\n%s", got)
+	}
+}
+
+// TestCFGEveryBlockListed guards the Blocks slice invariant Index relies
+// on.
+func TestCFGEveryBlockListed(t *testing.T) {
+	c := buildFor(t, `
+for i := 0; i < 2; i++ {
+	switch i {
+	case 0:
+		continue
+	}
+}`)
+	for i, b := range c.Blocks {
+		if b.Index != i {
+			t.Fatalf("block %d carries Index %d", i, b.Index)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces that cancellation reaches the code that can block.
+// The serving path's latency guarantees (and draftsd's clean shutdown)
+// depend on context plumbing being unbroken end to end: a single
+// function that swallows its context — or manufactures a fresh
+// context.Background() mid-stack — detaches everything below it from
+// deadlines and shutdown. Three rules:
+//
+//  1. context.Background()/context.TODO() may only be called in
+//     entrypoint packages (cmd/..., examples/...), where the root
+//     context is legitimately born. Everywhere else the context must
+//     come from the caller.
+//  2. A function that has a context.Context parameter must not pass
+//     Background()/TODO() to a callee — that severs the chain it was
+//     explicitly given. This applies even inside entrypoint packages.
+//  3. A function that takes a context.Context but never mentions it,
+//     while calling module-internal functions that accept one, is
+//     dropping cancellation on the floor; thread the parameter through.
+//
+// Deliberate detachment (compatibility shims, fire-and-forget audit
+// writes) is allowlisted in place with a reasoned
+// //draftsvet:ignore ctxflow directive.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "context.Background/TODO only in entrypoints; functions with a ctx " +
+		"parameter must thread it to context-accepting callees",
+	Run: runCtxFlow,
+}
+
+// ctxRootPrefixes lists module-relative path prefixes where creating a
+// root context is legitimate. This is deliberately not the analyzer's
+// Allow list: rules 2 and 3 still apply inside these packages.
+var ctxRootPrefixes = []string{"cmd/", "examples/"}
+
+func isCtxRootPackage(relPath string) bool {
+	for _, p := range ctxRootPrefixes {
+		if strings.HasPrefix(relPath+"/", p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxFlow(pass *Pass) {
+	inRoot := isCtxRootPackage(pass.RelPath)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fd.Type)
+			// Blank-named parameters cannot be threaded, so rule 2's
+			// "pass it instead" does not apply; rule 1 still does.
+			named := ctxParams[:0:0]
+			for _, id := range ctxParams {
+				if id.Name != "_" {
+					named = append(named, id)
+				}
+			}
+			checkCtxBody(pass, fd.Body, named, inRoot)
+			if len(named) > 0 {
+				checkCtxThreaded(pass, fd, named)
+			}
+		}
+	}
+}
+
+// checkCtxBody walks one function body (descending into closures, which
+// run with the same context environment) reporting rule 1 and rule 2
+// violations at each context.Background()/TODO() call site.
+func checkCtxBody(pass *Pass, body *ast.BlockStmt, ctxParams []*ast.Ident, inRoot bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := backgroundOrTODO(pass, call)
+		if name == "" {
+			return true
+		}
+		switch {
+		case len(ctxParams) > 0:
+			pass.Reportf(call.Pos(),
+				"context.%s() in a function that already has a context parameter %q; pass it (or a context derived from it) instead",
+				name, ctxParams[0].Name)
+		case !inRoot:
+			pass.Reportf(call.Pos(),
+				"context.%s() outside an entrypoint package severs cancellation; accept a context.Context from the caller",
+				name)
+		}
+		return true
+	})
+}
+
+// checkCtxThreaded reports rule 3: every named context parameter must be
+// mentioned somewhere in the body when the function calls into
+// module-internal code that accepts a context.
+func checkCtxThreaded(pass *Pass, fd *ast.FuncDecl, ctxParams []*ast.Ident) {
+	used := map[types.Object]bool{}
+	want := map[types.Object]*ast.Ident{}
+	for _, id := range ctxParams {
+		if id.Name == "_" {
+			continue
+		}
+		if obj := pass.ObjectOf(id); obj != nil {
+			want[obj] = id
+		}
+	}
+	if len(want) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil && want[obj] != nil {
+				used[obj] = true
+			}
+		}
+		return true
+	})
+	for obj, id := range want {
+		if used[obj] {
+			continue
+		}
+		if callee := ctxAcceptingCallee(pass, fd.Body); callee != "" {
+			pass.Reportf(id.Pos(),
+				"context parameter %q is never used, but %s accepts a context; thread it through",
+				id.Name, callee)
+		}
+	}
+}
+
+// ctxAcceptingCallee returns the name of the first module-internal
+// callee in body whose signature takes a context.Context, or "".
+func ctxAcceptingCallee(pass *Pass, body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path != pass.ModulePath && !strings.HasPrefix(path, pass.ModulePath+"/") {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isContextType(sig.Params().At(i).Type()) {
+				found = fn.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// contextParams returns the identifiers of all context.Context
+// parameters declared by ft.
+func contextParams(pass *Pass, ft *ast.FuncType) []*ast.Ident {
+	var out []*ast.Ident
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		out = append(out, field.Names...)
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// backgroundOrTODO returns "Background" or "TODO" when call is the
+// corresponding context constructor, else "".
+func backgroundOrTODO(pass *Pass, call *ast.CallExpr) string {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Background", "TODO":
+		return fn.Name()
+	}
+	return ""
+}

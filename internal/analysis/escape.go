@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file is the toolchain adapter behind `draftsvet -escape`: it
+// verifies every //drafts:nonalloc annotation against the compiler's
+// escape analysis instead of guessing at allocation behaviour
+// statically. The pipeline is
+//
+//  1. scan the module for annotated function declarations, recording
+//     each one's file and line range;
+//  2. `go build -gcflags=-m=2 <annotated packages>` from the module
+//     root — the -m diagnostics are replayed from the build cache on
+//     unchanged packages, so repeated runs are cheap;
+//  3. keep only "escapes to heap"/"moved to heap" diagnostics whose
+//     position falls inside an annotated function, minus any with a
+//     //draftsvet:ignore hotalloc directive.
+//
+// The check fails closed: a build failure, a compiler run that yields
+// no diagnostics at all (a silently dropped flag would otherwise read
+// as "all clean"), or a tree with zero annotations are hard errors,
+// not empty successes.
+
+// nonAllocSite is one annotated function declaration.
+type nonAllocSite struct {
+	File      string // module-root-relative, slash-separated
+	Name      string
+	StartLine int
+	EndLine   int
+}
+
+// escapeDiagRe matches one compiler diagnostic line: path:line:col: msg.
+var escapeDiagRe = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.+)$`)
+
+// EscapeCheck verifies the module's //drafts:nonalloc annotations with
+// the compiler and returns heap-escape findings as hotalloc
+// diagnostics. moduleRoot may be any directory inside the module.
+func EscapeCheck(moduleRoot string) ([]Diagnostic, error) {
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	sites, ignores, err := scanNonAllocSites(loader)
+	if err != nil {
+		return nil, err
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("escape check: no %s annotations in %s; nothing to verify (remove the -escape step or annotate the hot path)",
+			nonAllocMarker, loader.ModuleRoot)
+	}
+
+	pkgs := annotatedPackages(sites)
+	args := append([]string{"build", "-gcflags=-m=2"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = loader.ModuleRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("escape check: go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+
+	parsed := 0
+	seen := map[string]bool{}
+	var diags []Diagnostic
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeDiagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		parsed++
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		// The compiler spells root-package files "./x.go"; annotated
+		// sites use clean module-relative paths.
+		pos := token.Position{Filename: strings.TrimPrefix(filepath.ToSlash(m[1]), "./")}
+		fmt.Sscanf(m[2], "%d", &pos.Line)
+		fmt.Sscanf(m[3], "%d", &pos.Column)
+		site := siteAt(sites, pos.Filename, pos.Line)
+		if site == nil {
+			continue
+		}
+		if ignores.suppressed(pos, "hotalloc") {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", pos.Filename, pos.Line, pos.Column, msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Analyzer: "hotalloc",
+			Message:  fmt.Sprintf("heap allocation in %s function %s: %s", nonAllocMarker, site.Name, msg),
+		})
+	}
+	if parsed == 0 {
+		return nil, fmt.Errorf("escape check: compiler produced no diagnostics for %s; -gcflags=-m=2 was dropped or the packages were empty",
+			strings.Join(pkgs, " "))
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	return diags, nil
+}
+
+// scanNonAllocSites parses every non-test file in the module (comments
+// only, no type-checking) collecting annotated function declarations
+// and the ignore directives that may suppress their findings. Files are
+// parsed under module-root-relative names so positions line up with the
+// compiler's output.
+func scanNonAllocSites(loader *Loader) ([]nonAllocSite, ignoreIndex, error) {
+	dirs, err := loader.PackageDirs()
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	var sites []nonAllocSite
+	ignores := make(ignoreIndex)
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			abs := filepath.Join(dir, name)
+			src, err := os.ReadFile(abs)
+			if err != nil {
+				return nil, nil, err
+			}
+			rel, err := filepath.Rel(loader.ModuleRoot, abs)
+			if err != nil {
+				return nil, nil, err
+			}
+			rel = filepath.ToSlash(rel)
+			f, err := parser.ParseFile(fset, rel, src, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, nil, fmt.Errorf("escape check: parsing %s: %w", rel, err)
+			}
+			for file, lines := range buildIgnoreIndex(fset, []*ast.File{f}) {
+				ignores[file] = lines
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if isNonAllocComment(c) {
+						sites = append(sites, nonAllocSite{
+							File:      rel,
+							Name:      fd.Name.Name,
+							StartLine: fset.Position(fd.Pos()).Line,
+							EndLine:   fset.Position(fd.End()).Line,
+						})
+						break
+					}
+				}
+			}
+		}
+	}
+	return sites, ignores, nil
+}
+
+// annotatedPackages returns the sorted "./dir" build patterns for every
+// package containing an annotation.
+func annotatedPackages(sites []nonAllocSite) []string {
+	set := map[string]bool{}
+	for _, s := range sites {
+		dir := filepath.ToSlash(filepath.Dir(s.File))
+		if dir == "." {
+			set["."] = true
+		} else {
+			set["./"+dir] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// siteAt finds the annotated function covering file:line, or nil.
+func siteAt(sites []nonAllocSite, file string, line int) *nonAllocSite {
+	for i := range sites {
+		s := &sites[i]
+		if s.File == file && s.StartLine <= line && line <= s.EndLine {
+			return s
+		}
+	}
+	return nil
+}
+
+// NonAllocSiteCount reports how many annotated functions the module
+// holds — used by tests and the driver's -escape summary line.
+func NonAllocSiteCount(moduleRoot string) (int, error) {
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		return 0, err
+	}
+	sites, _, err := scanNonAllocSites(loader)
+	if err != nil {
+		return 0, err
+	}
+	return len(sites), nil
+}

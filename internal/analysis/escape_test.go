@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEscapeCheckFindsEscapes runs the adapter against a self-contained
+// module whose Leaky function breaks its annotation: the compiler must
+// catch it, the honest annotation must stay silent, and the waived one
+// must be suppressed by its directive.
+func TestEscapeCheckFindsEscapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go build; skipped in -short")
+	}
+	diags, err := EscapeCheck(filepath.Join("testdata", "escapemod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no findings: the compiler escape in Leaky was not caught")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "hotalloc" {
+			t.Errorf("finding carries analyzer %q, want hotalloc", d.Analyzer)
+		}
+		if !strings.Contains(d.Message, "Leaky") {
+			t.Errorf("finding outside Leaky: %s", d)
+		}
+		if d.Pos.Filename != "esc.go" {
+			t.Errorf("position not module-relative: %s", d.Pos.Filename)
+		}
+	}
+}
+
+// TestEscapeCheckFailClosed: a module without annotations is an error,
+// not an empty success — a silently skipped check must not look green.
+func TestEscapeCheckFailClosed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go build; skipped in -short")
+	}
+	_, err := EscapeCheck(filepath.Join("testdata", "noannotmod"))
+	if err == nil || !strings.Contains(err.Error(), "no //drafts:nonalloc annotations") {
+		t.Fatalf("want fail-closed error about missing annotations, got %v", err)
+	}
+}
+
+// TestEscapeCheckTreeIsClean mirrors the CI escape gate: every
+// annotation in this repository must hold up against the compiler.
+func TestEscapeCheckTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds annotated packages; skipped in -short")
+	}
+	diags, err := EscapeCheck(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	n, err := NonAllocSiteCount(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 10 {
+		t.Errorf("only %d //drafts:nonalloc annotations found; the serving path should carry more", n)
+	}
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file exposes the flow layer to analyzers through Pass: per-body
+// CFGs (built once per package, shared by every analyzer that asks) and a
+// call graph over the package's declared functions. Callee *bodies* are
+// resolvable for functions declared in the analyzed package; callees in
+// other packages of the module still resolve to their *types.Func, whose
+// signature (does it accept a context? which package owns it?) is what
+// the cross-package rules need.
+
+// CFG returns the control-flow graph for a function body, building it on
+// first use and caching it for every later analyzer in the same package
+// run.
+func (p *Pass) CFG(body *ast.BlockStmt) *CFG {
+	if p.pkg.cfgs == nil {
+		p.pkg.cfgs = make(map[*ast.BlockStmt]*CFG)
+	}
+	if c, ok := p.pkg.cfgs[body]; ok {
+		return c
+	}
+	c := BuildCFG(body)
+	p.pkg.cfgs[body] = c
+	return c
+}
+
+// FuncDeclOf resolves a *types.Func back to its declaration when the
+// function is declared in the analyzed package, nil otherwise (other
+// packages, interface methods, func values).
+func (p *Pass) FuncDeclOf(fn *types.Func) *ast.FuncDecl {
+	return p.pkg.declIndex()[fn]
+}
+
+// CallGraph returns the package's call graph, built lazily and shared
+// across analyzers.
+func (p *Pass) CallGraph() *CallGraph {
+	return p.pkg.callGraph()
+}
+
+// CallGraph records, for every function declared in one package, the
+// resolved callees of every call in its body (nested function literals
+// are attributed to the enclosing declaration — their calls run on its
+// behalf). Callees may live anywhere: the same package, elsewhere in the
+// module, or the stdlib; callers filter by package path.
+type CallGraph struct {
+	callees map[*types.Func][]*types.Func
+}
+
+// Callees lists the functions fn's body calls, in source order, with
+// duplicates preserved. Nil when fn is not declared in the package.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func {
+	return g.callees[fn]
+}
+
+// declIndex maps each declared function object to its FuncDecl.
+func (p *Package) declIndex() map[*types.Func]*ast.FuncDecl {
+	if p.decls != nil {
+		return p.decls
+	}
+	p.decls = make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				p.decls[fn] = fd
+			}
+		}
+	}
+	return p.decls
+}
+
+// callGraph builds (once) the package's caller→callee edges.
+func (p *Package) callGraph() *CallGraph {
+	if p.calls != nil {
+		return p.calls
+	}
+	g := &CallGraph{callees: make(map[*types.Func][]*types.Func)}
+	resolve := func(call *ast.CallExpr) *types.Func {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			f, _ := p.Info.ObjectOf(fun).(*types.Func)
+			return f
+		case *ast.SelectorExpr:
+			f, _ := p.Info.ObjectOf(fun.Sel).(*types.Func)
+			return f
+		}
+		return nil
+	}
+	for fn, fd := range p.declIndex() {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := resolve(call); callee != nil {
+					g.callees[fn] = append(g.callees[fn], callee)
+				}
+			}
+			return true
+		})
+	}
+	p.calls = g
+	return g
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak requires every `go` statement's goroutine to have a statically
+// visible bounded lifecycle. A leaked goroutine is the slowest kind of
+// production bug this codebase can have: the refresh loop, the bench
+// workers, and the simulator all spawn concurrency, and one spawn shape
+// that never terminates survives every test run (tests end before the
+// leak matters) and then pins memory — or a lock — in a long-lived
+// draftsd. The accepted lifecycles are exactly the shapes the tree uses:
+//
+//   - WaitGroup-tied: the goroutine calls (*sync.WaitGroup).Done
+//     (normally `defer wg.Done()`), so someone Waits for it;
+//   - context-bounded: the goroutine receives from a context's Done()
+//     channel (directly or in a select), so cancellation ends it;
+//   - stop-channel bounded: a select case receives from a channel and
+//     its body returns — the owner closes or signals the channel to
+//     end the goroutine;
+//   - drain-bounded: the goroutine's loop ranges over a channel, so it
+//     ends when the producer closes the channel;
+//   - one-shot: the body contains no loop at all — it runs its
+//     statements once and exits.
+//
+// Anything else — including goroutines whose body the analyzer cannot
+// see (dynamic function values, functions declared in another package) —
+// is a finding. A deliberate daemon is allowlisted in place:
+//
+//	//draftsvet:ignore goleak <why this goroutine may outlive its spawner>
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc: "every go statement's goroutine needs a bounded lifecycle: " +
+		"WaitGroup-tied, ctx.Done/stop-select, channel-drain, or one-shot",
+	Run: runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, how := goroutineBody(pass, g)
+			if body == nil {
+				pass.Reportf(g.Pos(),
+					"cannot verify goroutine lifecycle: %s; use a func literal or "+
+						"a function declared in this package, or allowlist with an ignore directive", how)
+				return true
+			}
+			if why := boundedLifecycle(pass, body); why == "" {
+				pass.Reportf(g.Pos(),
+					"goroutine has no bounded lifecycle: tie it to a WaitGroup "+
+						"(defer wg.Done()), select on ctx.Done()/a stop channel, range over "+
+						"a closable channel, or allowlist a daemon with an ignore directive")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineBody resolves the function body a go statement runs: a func
+// literal's own body, or the declaration of a package-local named
+// function/method. The second return describes why resolution failed.
+func goroutineBody(pass *Pass, g *ast.GoStmt) (*ast.BlockStmt, string) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, ""
+	}
+	fn := pass.CalleeFunc(g.Call)
+	if fn == nil {
+		return nil, "the callee is a dynamic function value"
+	}
+	if fd := pass.FuncDeclOf(fn); fd != nil && fd.Body != nil {
+		return fd.Body, ""
+	}
+	return nil, fn.FullName() + " is declared outside this package"
+}
+
+// boundedLifecycle classifies the goroutine body, returning a non-empty
+// reason when one of the accepted shapes is present. Nested go
+// statements' bodies are excluded — they are separate goroutines with
+// their own obligation — but other nested closures (deferred cleanups,
+// inline helpers) run on this goroutine and count.
+func boundedLifecycle(pass *Pass, body *ast.BlockStmt) string {
+	why := ""
+	hasLoop := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Skip the spawned body but still examine the call's fun/args
+			// (a channel receive used as an argument would count).
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		case *ast.CallExpr:
+			if isWaitGroupDone(pass, n) {
+				why = "waitgroup"
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isCtxDoneCall(pass, n.X) {
+				why = "ctx.Done"
+				return false
+			}
+		case *ast.CommClause:
+			if commIsReceive(n.Comm) && bodyReturns(n.Body) {
+				why = "stop-select"
+				return false
+			}
+		case *ast.RangeStmt:
+			hasLoop = true
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					why = "channel drain"
+					return false
+				}
+			}
+		case *ast.ForStmt:
+			hasLoop = true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	if why != "" {
+		return why
+	}
+	if !hasLoop {
+		return "one-shot"
+	}
+	return ""
+}
+
+// commIsReceive reports whether a select case's comm statement is a
+// channel receive (bare, or as the source of an assignment).
+func commIsReceive(comm ast.Stmt) bool {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		u, ok := ast.Unparen(s.X).(*ast.UnaryExpr)
+		return ok && u.Op.String() == "<-"
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return false
+		}
+		u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr)
+		return ok && u.Op.String() == "<-"
+	}
+	return false
+}
+
+// bodyReturns reports whether stmts contain a return outside nested
+// function literals.
+func bodyReturns(stmts []ast.Stmt) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				found = true
+				return false
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// isWaitGroupDone reports whether call is (*sync.WaitGroup).Done.
+func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
+	fn := pass.CalleeFunc(call)
+	return fn != nil && fn.Name() == "Done" &&
+		fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// isCtxDoneCall reports whether expr is a call to (context.Context).Done.
+func isCtxDoneCall(pass *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := pass.CalleeFunc(call)
+	return fn != nil && fn.Name() == "Done" &&
+		fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// HotAlloc polices the //drafts:nonalloc annotation. The annotation
+// marks serving-path functions whose "zero allocations" property the
+// build verifies against the compiler's own escape analysis (see
+// EscapeCheck): draftsvet -escape runs `go build -gcflags=-m=2` and
+// fails if anything escapes to the heap inside an annotated function.
+//
+// The compiler check only works if annotations sit where the scanner
+// looks for them, so this pass enforces the contract shape:
+//
+//   - //drafts:nonalloc must appear in the doc comment of a function
+//     declaration — a floating or trailing marker silently verifies
+//     nothing, which is worse than no marker;
+//   - the annotated function must have a body (the compiler emits no
+//     escape diagnostics for external/assembly declarations).
+//
+// The escape verdicts themselves are produced by the toolchain adapter,
+// not this pass: static analysis cannot out-guess the escape analyzer,
+// so we ask it directly.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "//drafts:nonalloc must annotate a function declaration with a body; " +
+		"the annotation is verified against compiler escape analysis by -escape",
+	Run: runHotAlloc,
+}
+
+// nonAllocMarker is the annotation, always written at the start of a
+// comment line.
+const nonAllocMarker = "//drafts:nonalloc"
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		// Comments that legitimately carry the marker: doc groups of
+		// function declarations with bodies.
+		valid := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if !isNonAllocComment(c) {
+					continue
+				}
+				if fd.Body == nil {
+					pass.Reportf(c.Pos(),
+						"%s on %s, which has no body; the compiler emits no escape diagnostics for it",
+						nonAllocMarker, fd.Name.Name)
+					continue
+				}
+				valid[c] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isNonAllocComment(c) && !valid[c] {
+					pass.Reportf(c.Pos(),
+						"misplaced %s: it must be part of a function declaration's doc comment to be verified",
+						nonAllocMarker)
+				}
+			}
+		}
+	}
+}
+
+func isNonAllocComment(c *ast.Comment) bool {
+	rest, ok := strings.CutPrefix(c.Text, nonAllocMarker)
+	return ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t')
+}

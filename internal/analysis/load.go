@@ -25,6 +25,11 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	// Lazily built, analyzer-shared indexes (see funcs.go).
+	cfgs  map[*ast.BlockStmt]*CFG
+	decls map[*types.Func]*ast.FuncDecl
+	calls *CallGraph
 }
 
 // Loader parses and type-checks packages of one module. Type information

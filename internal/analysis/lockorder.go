@@ -1,0 +1,352 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LockOrder enforces mutex discipline on the control-flow graph: every
+// sync.Mutex/RWMutex Lock (or RLock) must be matched by an Unlock (or
+// RUnlock) on *every* CFG path out of the function, and no path may Lock
+// a mutex it already holds — sync mutexes are not reentrant, so a
+// double-lock is a guaranteed self-deadlock the race detector only finds
+// if a test happens to drive that path. The same applies to taking the
+// write lock while holding the read lock, and to recursive RLock (which
+// deadlocks against a queued writer).
+//
+// Accepted discharge shapes, matching the tree's usage:
+//
+//   - defer mu.Unlock() / defer mu.RUnlock(), directly or inside a
+//     deferred closure, anywhere in the function (defers run on every
+//     exit path including panics);
+//   - an explicit Unlock on every path before return — early-unlock
+//     branches (`mu.Unlock(); return err`) are followed through the CFG.
+//
+// Functions that Unlock a mutex they never Locked (lock helpers called
+// with the lock held) are skipped for that mutex — the obligation lives
+// in their caller. A mutex touched by TryLock is likewise skipped: its
+// hold state is path-dependent in a way a static matcher cannot follow.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "every Mutex/RWMutex Lock must be Unlocked on all CFG paths and " +
+		"never re-acquired while held",
+	Run: runLockOrder,
+}
+
+// lockOpKind enumerates the mutex operations the analyzer tracks.
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+	opRLock
+	opRUnlock
+	opTryLock
+)
+
+var lockMethodKinds = map[string]lockOpKind{
+	"Lock":     opLock,
+	"Unlock":   opUnlock,
+	"RLock":    opRLock,
+	"RUnlock":  opRUnlock,
+	"TryLock":  opTryLock,
+	"TryRLock": opTryLock,
+}
+
+// lockOp is one mutex method call located in the CFG.
+type lockOp struct {
+	kind lockOpKind
+	key  string // identity of the mutex: root object pointer + selector path
+	name string // display spelling, e.g. "s.mu"
+	call *ast.CallExpr
+}
+
+func runLockOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkLockDiscipline(pass, body)
+			}
+			return true // nested FuncLits get their own visit
+		})
+	}
+}
+
+func checkLockDiscipline(pass *Pass, body *ast.BlockStmt) {
+	cfg := pass.CFG(body)
+
+	// ops[blockIndex] lists the block's mutex calls in execution order.
+	ops := make([][]lockOp, len(cfg.Blocks))
+	seenKeys := map[string]bool{}
+	skipKeys := map[string]bool{} // TryLock'd or unlocked-without-lock
+	for _, blk := range cfg.Blocks {
+		for _, node := range blk.Nodes {
+			collectLockOps(pass, node, func(op lockOp) {
+				ops[blk.Index] = append(ops[blk.Index], op)
+				seenKeys[op.key] = true
+				if op.kind == opTryLock {
+					skipKeys[op.key] = true
+				}
+			})
+		}
+	}
+	if len(seenKeys) == 0 {
+		return
+	}
+
+	// Deferred unlocks discharge the obligation on every exit path.
+	deferredUnlock := map[string]lockOpKind{}
+	for _, d := range cfg.Defers {
+		collectDeferredUnlocks(pass, d, func(op lockOp) {
+			if op.kind == opUnlock || op.kind == opRUnlock {
+				deferredUnlock[op.key] = op.kind
+			}
+		})
+	}
+
+	// A function that Unlocks a mutex it never Locks on some path is a
+	// helper operating on a caller-held lock; skip that mutex entirely.
+	for key := range seenKeys {
+		if unlocksBeforeLock(cfg, ops, key) {
+			skipKeys[key] = true
+		}
+	}
+
+	for _, blk := range cfg.Blocks {
+		for i, op := range ops[blk.Index] {
+			if skipKeys[op.key] {
+				continue
+			}
+			if op.kind != opLock && op.kind != opRLock {
+				continue
+			}
+			leak, double := traceHold(cfg, ops, blk, i)
+			if double != nil {
+				pass.Reportf(double.call.Pos(),
+					"%s.%s() while %s is already held on this path (self-deadlock)",
+					double.name, lockMethodName(double.kind), op.name)
+			}
+			wantUnlock := opUnlock
+			if op.kind == opRLock {
+				wantUnlock = opRUnlock
+			}
+			if leak && deferredUnlock[op.key] != wantUnlock {
+				pass.Reportf(op.call.Pos(),
+					"%s.%s() is not %s'd on every path; defer %s.%s() or unlock before returning",
+					op.name, lockMethodName(op.kind), lockMethodName(wantUnlock),
+					op.name, lockMethodName(wantUnlock))
+			}
+		}
+	}
+}
+
+func lockMethodName(k lockOpKind) string {
+	switch k {
+	case opLock:
+		return "Lock"
+	case opUnlock:
+		return "Unlock"
+	case opRLock:
+		return "RLock"
+	case opRUnlock:
+		return "RUnlock"
+	}
+	return "TryLock"
+}
+
+// traceHold walks every CFG path from the operation after the lock at
+// ops[from.Index][opIdx], stopping on the matching unlock. It reports
+// whether any path reaches Exit still holding the lock, and the first
+// re-acquisition encountered while held (nil if none).
+func traceHold(cfg *CFG, ops [][]lockOp, from *Block, opIdx int) (leak bool, double *lockOp) {
+	lock := ops[from.Index][opIdx]
+	matching := opUnlock
+	if lock.kind == opRLock {
+		matching = opRUnlock
+	}
+
+	type pos struct {
+		block *Block
+		idx   int // next op index to examine in block
+	}
+	var stack []pos
+	visited := map[pos]bool{}
+	push := func(p pos) {
+		if !visited[p] {
+			visited[p] = true
+			stack = append(stack, p)
+		}
+	}
+	push(pos{from, opIdx + 1})
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p.idx < len(ops[p.block.Index]) {
+			op := ops[p.block.Index][p.idx]
+			if op.key == lock.key {
+				switch op.kind {
+				case matching:
+					continue // lock released; this path is done
+				case opLock, opRLock:
+					if double == nil {
+						double = &ops[p.block.Index][p.idx]
+					}
+					// Keep walking: the leak question is independent.
+				}
+			}
+			push(pos{p.block, p.idx + 1})
+			continue
+		}
+		if len(p.block.Succs) == 0 && p.block == cfg.Exit {
+			leak = true
+			continue
+		}
+		for _, s := range p.block.Succs {
+			if s == cfg.Exit {
+				leak = true
+				continue
+			}
+			push(pos{s, 0})
+		}
+	}
+	return leak, double
+}
+
+// unlocksBeforeLock reports whether any path from Entry reaches an
+// Unlock/RUnlock on key without passing a Lock/RLock on key first.
+func unlocksBeforeLock(cfg *CFG, ops [][]lockOp, key string) bool {
+	type pos struct {
+		block *Block
+		idx   int
+	}
+	var stack []pos
+	visited := map[pos]bool{}
+	push := func(p pos) {
+		if !visited[p] {
+			visited[p] = true
+			stack = append(stack, p)
+		}
+	}
+	push(pos{cfg.Entry, 0})
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p.idx < len(ops[p.block.Index]) {
+			op := ops[p.block.Index][p.idx]
+			if op.key == key {
+				switch op.kind {
+				case opLock, opRLock, opTryLock:
+					continue // locked first on this path: fine
+				case opUnlock, opRUnlock:
+					return true
+				}
+			}
+			push(pos{p.block, p.idx + 1})
+			continue
+		}
+		for _, s := range p.block.Succs {
+			push(pos{s, 0})
+		}
+	}
+	return false
+}
+
+// collectLockOps finds mutex method calls inside one CFG node, in AST
+// order, skipping nested function literals (their bodies are separate
+// functions) and defer statements (their calls run at exit, handled via
+// CFG.Defers).
+func collectLockOps(pass *Pass, node ast.Node, emit func(lockOp)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if op, ok := lockOpOf(pass, n); ok {
+				emit(op)
+			}
+		}
+		return true
+	})
+}
+
+// collectDeferredUnlocks finds mutex calls in a defer statement: the
+// deferred call itself, or calls inside a deferred closure.
+func collectDeferredUnlocks(pass *Pass, d *ast.DeferStmt, emit func(lockOp)) {
+	if op, ok := lockOpOf(pass, d.Call); ok {
+		emit(op)
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, ok := lockOpOf(pass, call); ok {
+					emit(op)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lockOpOf classifies a call as a mutex operation on a trackable lock
+// expression (an identifier or a selector path rooted at one).
+func lockOpOf(pass *Pass, call *ast.CallExpr) (lockOp, bool) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	kind, ok := lockMethodKinds[fn.Name()]
+	if !ok {
+		return lockOp{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	key, name, ok := lockKey(pass, sel.X)
+	if !ok {
+		return lockOp{}, false
+	}
+	return lockOp{kind: kind, key: key, name: name, call: call}, true
+}
+
+// lockKey derives the mutex's identity from its receiver expression: the
+// root identifier's object plus the selector path, so s.mu in two
+// methods of the same function body is one lock, while a shadowed mu is
+// not.
+func lockKey(pass *Pass, expr ast.Expr) (key, name string, ok bool) {
+	path := ""
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := pass.ObjectOf(e)
+			if obj == nil {
+				return "", "", false
+			}
+			return objKey(obj) + path, e.Name + path, true
+		case *ast.SelectorExpr:
+			path = "." + e.Sel.Name + path
+			expr = e.X
+		default:
+			return "", "", false
+		}
+	}
+}
+
+// objKey identifies one declared object: its name qualified by its
+// declaration position, which is unique within a package load.
+func objKey(obj types.Object) string {
+	return fmt.Sprintf("%s@%d", obj.Name(), obj.Pos())
+}

@@ -13,12 +13,23 @@ import (
 // It returns the number of findings; a non-nil error means loading or
 // type-checking failed, which is distinct from "findings exist".
 func Run(patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	diags, err := RunDiagnostics(patterns, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return len(diags), err
+}
+
+// RunDiagnostics is Run with structured output: it returns the findings
+// themselves, positions rewritten module-root-relative, for callers that
+// render them as something other than text (JSON, CI annotations).
+func RunDiagnostics(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	loader, err := NewLoader(".")
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	var dirs []string
 	for _, pat := range patterns {
@@ -26,14 +37,14 @@ func Run(patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
 		case pat == "./...":
 			all, err := loader.PackageDirs()
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			dirs = append(dirs, all...)
 		case strings.HasSuffix(pat, "/..."):
 			root := strings.TrimSuffix(pat, "/...")
 			sub, err := subdirsWithGo(loader, root)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			dirs = append(dirs, sub...)
 		default:
@@ -41,22 +52,20 @@ func Run(patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
 		}
 	}
 
-	total := 0
+	var diags []Diagnostic
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir, "")
 		if err != nil {
-			return total, err
+			return diags, err
 		}
 		for _, d := range Analyze(pkg, analyzers) {
-			rel := d
 			if r, err := filepath.Rel(loader.ModuleRoot, d.Pos.Filename); err == nil {
-				rel.Pos.Filename = r
+				d.Pos.Filename = filepath.ToSlash(r)
 			}
-			fmt.Fprintln(w, rel)
-			total++
+			diags = append(diags, d)
 		}
 	}
-	return total, nil
+	return diags, nil
 }
 
 // subdirsWithGo expands a dir/... pattern below the module root.

@@ -1,0 +1,30 @@
+// Package escapemod is a self-contained module for exercising the
+// escape-analysis adapter: Leaky's annotation is a lie the compiler
+// catches, Clean's is honest, and Waived's violation carries a reasoned
+// ignore directive.
+package escapemod
+
+type box struct{ v int }
+
+// Leaky returns a pointer to a local, which must move to the heap.
+//
+//drafts:nonalloc
+func Leaky(v int) *box {
+	b := box{v: v}
+	return &b
+}
+
+// Clean is arithmetic only.
+//
+//drafts:nonalloc
+func Clean(a, b int) int {
+	return a*b + a
+}
+
+// Waived allocates knowingly; the directive suppresses the finding.
+//
+//drafts:nonalloc
+func Waived(v int) *box {
+	//draftsvet:ignore hotalloc deliberate escape to prove suppression works
+	return &box{v: v}
+}

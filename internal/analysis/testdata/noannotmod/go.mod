@@ -1,0 +1,3 @@
+module noannotmod
+
+go 1.22

@@ -1,0 +1,5 @@
+// Package noannotmod has no //drafts:nonalloc annotations: the escape
+// check must fail closed on it instead of reporting an empty success.
+package noannotmod
+
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,48 @@
+// Package fixture holds the accepted context-flow shapes: ctxflow must
+// stay silent on all of them.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func doWork(ctx context.Context) { _ = ctx }
+func helper()                    {}
+
+// Threads passes its context straight through.
+func Threads(ctx context.Context) {
+	doWork(ctx)
+}
+
+// Derives threads a context derived from its parameter.
+func Derives(ctx context.Context) {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	doWork(c)
+}
+
+// InClosure threads the context from inside a closure it runs.
+func InClosure(ctx context.Context) {
+	run := func() { doWork(ctx) }
+	run()
+}
+
+// NoCtxCallees takes a context for interface compatibility; none of its
+// callees accept one, so not threading it is fine.
+func NoCtxCallees(ctx context.Context) {
+	helper()
+}
+
+// Blank explicitly discards its context; rule 3 only applies to named
+// parameters.
+func Blank(_ context.Context) {
+	helper()
+}
+
+// Shim deliberately detaches for a fire-and-forget write, with a
+// reasoned allowlist directive.
+func Shim() {
+	//draftsvet:ignore ctxflow fire-and-forget; must outlive the request
+	doWork(context.Background())
+}

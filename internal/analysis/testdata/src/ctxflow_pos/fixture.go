@@ -1,0 +1,35 @@
+// Package fixture exercises ctxflow: severed and dropped cancellation.
+package fixture
+
+import "context"
+
+func doWork(ctx context.Context) { _ = ctx }
+
+// Detached manufactures a root context outside an entrypoint package.
+func Detached() {
+	ctx := context.Background() // want ctxflow "outside an entrypoint package"
+	doWork(ctx)
+}
+
+// Todo is the same violation spelled with TODO.
+func Todo() {
+	doWork(context.TODO()) // want ctxflow "outside an entrypoint package"
+}
+
+// Severs was handed a context and discards it mid-stack.
+func Severs(ctx context.Context) {
+	_ = ctx
+	doWork(context.Background()) // want ctxflow "already has a context parameter"
+}
+
+// Drops never mentions its context while calling a context-accepting
+// module-internal function: rule 3 fires on the parameter, and the
+// Background call additionally fires rule 2.
+func Drops(ctx context.Context) { // want ctxflow "never used"
+	doWork(context.Background()) // want ctxflow "already has a context parameter"
+}
+
+// DropsNil threads a nil context instead of the one it was given.
+func DropsNil(ctx context.Context) { // want ctxflow "never used"
+	doWork(nil)
+}

@@ -1,0 +1,94 @@
+// Package fixture holds the accepted goroutine lifecycle shapes: goleak
+// must stay silent on all of them.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// WaitGrouped ties each worker to a WaitGroup the caller Waits on.
+func WaitGrouped(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// CtxBounded stops when the context is cancelled.
+func CtxBounded(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Drains ends when the producer closes the channel.
+func Drains(ch chan int, work func(int)) {
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+}
+
+// OneShot has no loop: it runs its statements once and exits.
+func OneShot(work func()) {
+	go func() {
+		work()
+	}()
+}
+
+// loop is a named daemon body bounded by its context; SpawnsLoop
+// exercises resolution through the declaration index.
+func loop(ctx context.Context, work func()) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func SpawnsLoop(ctx context.Context, work func()) {
+	go loop(ctx, work)
+}
+
+// StopChannel ends when the owner signals (or closes) the stop channel:
+// a select case receiving from a channel whose body returns.
+func StopChannel(stop chan struct{}, tick chan int, work func(int)) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-tick:
+				work(v)
+			}
+		}
+	}()
+}
+
+// Daemon is a deliberate process-lifetime goroutine, allowlisted with a
+// reasoned directive.
+func Daemon(work func()) {
+	//draftsvet:ignore goleak process-lifetime flusher; exits with the program
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

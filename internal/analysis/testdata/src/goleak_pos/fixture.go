@@ -1,0 +1,48 @@
+// Package fixture exercises goleak: goroutines without a statically
+// visible bounded lifecycle.
+package fixture
+
+import "time"
+
+// Forever loops with no stop signal: nothing ever ends it.
+func Forever(work func()) {
+	go func() { // want goleak "no bounded lifecycle"
+		for {
+			work()
+		}
+	}()
+}
+
+// Selects receives in a loop but has no cancellation arm; when the
+// producer stops sending the goroutine parks forever.
+func Selects(work func(int), data chan int) {
+	go func() { // want goleak "no bounded lifecycle"
+		for {
+			select {
+			case v := <-data:
+				work(v)
+			}
+		}
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+// SpawnsNamed leaks through a named function: the body is resolved via
+// the package declaration index.
+func SpawnsNamed() {
+	go spin() // want goleak "no bounded lifecycle"
+}
+
+// Dynamic spawns a function value; the analyzer cannot see its body.
+func Dynamic(fn func()) {
+	go fn() // want goleak "dynamic function value"
+}
+
+// External spawns a function declared in another package.
+func External(d time.Duration) {
+	go time.Sleep(d) // want goleak "declared outside this package"
+}

@@ -1,0 +1,17 @@
+// Package fixture holds a correctly annotated function: the marker sits
+// in the doc comment of a declaration with a body, where the escape
+// scanner finds it.
+package fixture
+
+// Clamp bounds v to [lo, hi] without allocating.
+//
+//drafts:nonalloc
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

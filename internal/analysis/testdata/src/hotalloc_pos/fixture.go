@@ -1,0 +1,14 @@
+// Package fixture exercises hotalloc's annotation hygiene: markers the
+// escape checker would silently skip must be findings.
+package fixture
+
+//drafts:nonalloc // want hotalloc "misplaced"
+var hot int
+
+// Trailing markers are not part of the declaration's doc comment.
+func Add(a, b int) int { return a + b } //drafts:nonalloc // want hotalloc "misplaced"
+
+func Inside() int {
+	//drafts:nonalloc // want hotalloc "misplaced"
+	return hot
+}

@@ -1,0 +1,83 @@
+// Package fixture holds the accepted lock-discipline shapes: lockorder
+// must stay silent on all of them.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+var errStub = errors.New("stub")
+
+// Deferred is the canonical shape: defer runs on every exit path,
+// panics included.
+func Deferred(mu *sync.Mutex, x *int) {
+	mu.Lock()
+	defer mu.Unlock()
+	*x++
+}
+
+// DeferredClosure unlocks inside a deferred closure.
+func DeferredClosure(mu *sync.Mutex, x *int) {
+	mu.Lock()
+	defer func() {
+		*x = 0
+		mu.Unlock()
+	}()
+	*x++
+}
+
+// EarlyUnlock releases before each return; the CFG follows both paths.
+func EarlyUnlock(mu *sync.Mutex, fail bool) error {
+	mu.Lock()
+	if fail {
+		mu.Unlock()
+		return errStub
+	}
+	mu.Unlock()
+	return nil
+}
+
+// PerIteration holds the lock only inside the loop body.
+func PerIteration(mu *sync.Mutex, n int, x *int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		*x++
+		mu.Unlock()
+	}
+}
+
+// Reader pairs RLock with a deferred RUnlock.
+func Reader(mu *sync.RWMutex, x *int) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return *x
+}
+
+// unlockAndSignal is called with mu held: it unlocks a mutex it never
+// locked, so the obligation lives in its caller and the analyzer skips
+// the mutex here.
+func unlockAndSignal(mu *sync.Mutex, ch chan struct{}) {
+	mu.Unlock()
+	ch <- struct{}{}
+}
+
+// TryPath uses TryLock; hold state is runtime-dependent, so the mutex
+// is skipped.
+func TryPath(mu *sync.Mutex, x *int) {
+	if mu.TryLock() {
+		*x++
+		mu.Unlock()
+	}
+}
+
+// HandoffLeak intentionally transfers lock ownership to the spawned
+// closure (a lock handoff); allowlisted with a reasoned directive.
+func HandoffLeak(mu *sync.Mutex, done func()) {
+	//draftsvet:ignore lockorder ownership hands off to the goroutine below
+	mu.Lock()
+	go func() {
+		defer mu.Unlock()
+		done()
+	}()
+}

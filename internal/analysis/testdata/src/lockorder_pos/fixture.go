@@ -1,0 +1,53 @@
+// Package fixture exercises lockorder: locks leaked on some CFG path
+// and locks re-acquired while held.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+var errStub = errors.New("stub")
+
+// NeverUnlocked acquires and falls off the end of the function.
+func NeverUnlocked(mu *sync.Mutex) {
+	mu.Lock() // want lockorder "not Unlock'd on every path"
+}
+
+// EarlyReturn unlocks on the happy path only; the error path leaks.
+func EarlyReturn(mu *sync.Mutex, fail bool) error {
+	mu.Lock() // want lockorder "not Unlock'd on every path"
+	if fail {
+		return errStub
+	}
+	mu.Unlock()
+	return nil
+}
+
+// Double re-acquires a mutex the same path already holds: sync.Mutex is
+// not reentrant, so this deadlocks against itself.
+func Double(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Lock() // want lockorder "already held"
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// RLeak leaks the read lock on the early-return path.
+func RLeak(mu *sync.RWMutex, ok bool) int {
+	mu.RLock() // want lockorder "not RUnlock'd on every path"
+	if ok {
+		return 1
+	}
+	mu.RUnlock()
+	return 0
+}
+
+// Upgrade takes the write lock while holding the read lock: the writer
+// queues behind the reader it is itself blocking.
+func Upgrade(mu *sync.RWMutex) {
+	mu.RLock()
+	defer mu.RUnlock()
+	mu.Lock() // want lockorder "already held"
+	mu.Unlock()
+}

@@ -175,7 +175,13 @@ func (p *Predictor) Table() (BidTable, bool) {
 // no observed market movement has ever reached). An error is returned if
 // even that cannot promise d — the caller should fall back to a reliable
 // (On-demand) instance, per the §4.4 cost-optimization strategy.
+//
+// Advise is the context-free compatibility surface used by the
+// simulators and the public API, where no request deadline exists; its
+// scan is bounded by the escalation cap above, not by cancellation.
+// Serving-path callers must use AdviseContext so deadlines propagate.
 func (p *Predictor) Advise(d time.Duration) (Quote, error) {
+	//draftsvet:ignore ctxflow deliberate root: context-free public API with a bounded scan; the serving path calls AdviseContext
 	return p.AdviseContext(context.Background(), d)
 }
 

@@ -151,6 +151,8 @@ func (s *Server) installBlobsTraced(tables map[tableKey]core.BidTable, asOf time
 
 // fastQuery reports whether the raw query can be read by plain substring
 // extraction: any percent-escape or '+' forces the url.Values slow path.
+//
+//drafts:nonalloc
 func fastQuery(q string) bool {
 	for i := 0; i < len(q); i++ {
 		if q[i] == '%' || q[i] == '+' {
@@ -162,6 +164,8 @@ func fastQuery(q string) bool {
 
 // rawQueryValue extracts the value of key from an unescaped raw query
 // without allocating: the result is a substring of q.
+//
+//drafts:nonalloc
 func rawQueryValue(q, key string) (val string, found bool) {
 	for len(q) > 0 {
 		var pair string
@@ -181,6 +185,8 @@ func rawQueryValue(q, key string) (val string, found bool) {
 // strong ETag. Comma-separated candidate lists are honoured by substring
 // search — every stored ETag is a quoted hash, so false positives cannot
 // occur — and "*" matches any current representation.
+//
+//drafts:nonalloc
 func etagMatches(header, etag string) bool {
 	return header == "*" || strings.Contains(header, etag)
 }
@@ -191,6 +197,8 @@ func etagMatches(header, etag string) bool {
 // The serve-stale policy applies first: a degraded epoch is marked with
 // X-Drafts-Staleness, and one beyond MaxStaleness is refused — both off
 // the fresh-epoch fast path, which stays allocation-free.
+//
+//drafts:nonalloc
 func (s *Server) writeBlob(w http.ResponseWriter, r *http.Request, et *encodedTables, body []byte) {
 	if !s.checkStaleness(w, et.asOf) {
 		return
@@ -228,6 +236,8 @@ func (et *encodedTables) lookupBlob(zone, typ, prob string) ([]byte, bool) {
 // write, no allocation; account-mapped requests and spellings the fast
 // parse cannot handle fall back to the marshal path, which preserves the
 // service's original semantics (and bytes) exactly.
+//
+//drafts:nonalloc
 func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
 	if et := s.blobs.Load(); et != nil {
 		q := r.URL.RawQuery
@@ -259,6 +269,8 @@ func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
 
 // handleCombos serves the combo listing, pre-encoded when a blob store is
 // installed.
+//
+//drafts:nonalloc
 func (s *Server) handleCombos(w http.ResponseWriter, r *http.Request) {
 	if et := s.blobs.Load(); et != nil {
 		s.writeBlob(w, r, et, et.combos)

@@ -64,6 +64,8 @@ func randomRequestID() string {
 // traceOf recovers the request's trace from the middleware's pooled
 // writer. Bare handlers (tests, no middleware) get nil, whose methods all
 // no-op.
+//
+//drafts:nonalloc
 func traceOf(w http.ResponseWriter) *trace.Trace {
 	if sw, ok := w.(*statusWriter); ok {
 		return sw.tr

@@ -95,7 +95,7 @@ func (e *ECDF) At(x float64) float64 {
 	}
 	i := sort.SearchFloat64s(e.sorted, x)
 	// Walking past exact ties matches SearchFloat64s's own comparisons.
-	for i < len(e.sorted) && e.sorted[i] == x { //draftsvet:ignore floatcmp
+	for i < len(e.sorted) && e.sorted[i] == x { //draftsvet:ignore floatcmp tie walk mirrors SearchFloat64s comparisons
 		i++
 	}
 	return float64(i) / float64(len(e.sorted))

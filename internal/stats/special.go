@@ -102,7 +102,7 @@ func NormalQuantile(p float64) float64 {
 	case p >= 1:
 		// Boundary classification of the caller's untouched argument; the
 		// literal 1.0 is exact, so == distinguishes p==1 from p>1 reliably.
-		if p == 1 { //draftsvet:ignore floatcmp
+		if p == 1 { //draftsvet:ignore floatcmp boundary test against the exact literal 1
 			return math.Inf(1)
 		}
 		return math.NaN()

@@ -123,7 +123,7 @@ func normalizeBuckets(buckets []float64) []float64 {
 	for i, b := range out {
 		// Deduplicating adjacent equal bucket bounds after sorting compares
 		// verbatim copies, so exact inequality is the right test.
-		if i == 0 || b != out[i-1] { //draftsvet:ignore floatcmp
+		if i == 0 || b != out[i-1] { //draftsvet:ignore floatcmp verbatim-copy dedup after sort
 			dedup = append(dedup, b)
 		}
 	}

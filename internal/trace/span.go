@@ -131,6 +131,8 @@ func (tr *Trace) detailed() bool { return tr.sampled || tr.forced }
 // StartSpan claims the next span slot. On a nil trace — or once MaxSpans
 // are claimed — it returns nil, which every Span method tolerates. The
 // span must be ended on all paths (End or EndErr; spanend enforces).
+//
+//drafts:nonalloc
 func (tr *Trace) StartSpan(name string) *Span {
 	if tr == nil {
 		return nil
@@ -155,6 +157,8 @@ func (tr *Trace) StartSpan(name string) *Span {
 }
 
 // End closes the span. Nil-safe.
+//
+//drafts:nonalloc
 func (sp *Span) End() {
 	if sp == nil {
 		return
@@ -167,6 +171,8 @@ func (sp *Span) End() {
 // EndErr closes the span, recording err (when non-nil) as its error —
 // the one-statement form that keeps Start/End straight-line even when an
 // error branch follows, which is what the spanend analyzer wants to see.
+//
+//drafts:nonalloc
 func (sp *Span) EndErr(err error) {
 	if sp == nil {
 		return
@@ -191,6 +197,8 @@ func (sp *Span) Fail(err error) {
 // over-threshold-latency → error ring, regardless of sampling), hands it
 // to the flight recorder, and returns the buffer to the pool. Idempotent
 // and nil-safe, so "defer tr.End()" is always correct.
+//
+//drafts:nonalloc
 func (tr *Trace) End() {
 	if tr == nil || tr.ended {
 		return
@@ -216,6 +224,8 @@ func (tr *Trace) End() {
 }
 
 // release returns the trace buffer to the pool.
+//
+//drafts:nonalloc
 func (tr *Trace) release(t *Tracer) {
 	tr.tracer = nil // guard accidental reuse after pooling
 	tr.kind = ""

@@ -143,6 +143,8 @@ func New(cfg Config) (*Tracer, error) {
 
 // rand64 advances the seeded splitmix64 sequence: an atomic add plus a
 // few shifts and multiplies, lock- and allocation-free.
+//
+//drafts:nonalloc
 func (t *Tracer) rand64() uint64 {
 	x := t.state.Add(0x9E3779B97F4A7C15)
 	x ^= x >> 30
@@ -156,6 +158,8 @@ func (t *Tracer) rand64() uint64 {
 // sampleWord extracts the 64 bits of the trace ID the sampling decision
 // reads, keeping the decision a pure function of the ID so every service
 // hop agrees.
+//
+//drafts:nonalloc
 func sampleWord(id TraceID) uint64 {
 	var x uint64
 	for _, b := range id[8:] {
@@ -164,11 +168,14 @@ func sampleWord(id TraceID) uint64 {
 	return x
 }
 
+//drafts:nonalloc
 func (t *Tracer) sampleID(id TraceID) bool {
 	return t.sampleAll || sampleWord(id) < t.threshold
 }
 
 // newIDs generates a fresh, non-zero trace/span ID pair.
+//
+//drafts:nonalloc
 func (t *Tracer) newIDs() (TraceID, SpanID) {
 	var tid TraceID
 	var sid SpanID
@@ -192,6 +199,8 @@ func (t *Tracer) newIDs() (TraceID, SpanID) {
 // ("refresh", "client", ...). On a nil Tracer it returns a nil *Trace,
 // whose every method no-ops, so callers never branch. The caller must End
 // the trace on all paths (draftsvet's spanend analyzer enforces this).
+//
+//drafts:nonalloc
 func (t *Tracer) StartTrace(kind string) *Trace {
 	if t == nil {
 		return nil
@@ -205,6 +214,8 @@ func (t *Tracer) StartTrace(kind string) *Trace {
 // root span becomes a child of the remote caller's span) and generating
 // fresh ones otherwise. An upstream sampled flag is honoured in addition
 // to the local head-sampling decision. Nil-receiver safe; must be Ended.
+//
+//drafts:nonalloc
 func (t *Tracer) StartRequest(traceparent string) *Trace {
 	if t == nil {
 		return nil
@@ -217,6 +228,7 @@ func (t *Tracer) StartRequest(traceparent string) *Trace {
 	return t.start("http", tid, sid, SpanID{}, t.sampleID(tid), false)
 }
 
+//drafts:nonalloc
 func (t *Tracer) start(kind string, tid TraceID, sid, parent SpanID, sampled, remote bool) *Trace {
 	tr := t.pool.Get().(*Trace)
 	tr.tracer = t
