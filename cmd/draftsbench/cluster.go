@@ -1,0 +1,237 @@
+// The -cluster scenario: stand up a writer and N replicas in-process,
+// replicate for real over HTTP (full snapshot, then a delta after a
+// refresh), verify the read tier serves byte-identical responses from
+// every node, and measure aggregate read throughput against the
+// single-node baseline.
+//
+// Per-node capacity is measured sequentially with the same single-threaded
+// driver as -direct, so each node is measured under identical conditions
+// and the aggregate is the sum — the honest number on a small CI box,
+// where concurrent drivers would just time-slice one core.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/benchio"
+	"github.com/drafts-go/drafts/internal/cluster"
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/service"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+func runCluster(opts options) error {
+	combos := spot.Combos()
+	if opts.clusterCombos > 0 && opts.clusterCombos < len(combos) {
+		combos = combos[:opts.clusterCombos]
+	}
+	if opts.clusterReplicas < 1 {
+		return fmt.Errorf("-cluster-replicas must be >= 1")
+	}
+
+	// Writer: real histories, real refresh, shipper on the publish hook.
+	start := time.Now().UTC().Add(-time.Duration(opts.directTicks) * spot.UpdatePeriod).Truncate(spot.UpdatePeriod)
+	st := history.NewStore()
+	if err := (pricegen.Generator{Seed: opts.seed}).Populate(st, combos, start, opts.directTicks); err != nil {
+		return err
+	}
+	shipper := cluster.NewShipper(cluster.ShipperConfig{MaxWait: time.Second})
+	writer, err := service.New(service.Config{
+		Source:     st,
+		MaxHistory: opts.directTicks,
+		OnEpoch:    shipper.Publish,
+	})
+	if err != nil {
+		return err
+	}
+	if err := writer.Refresh(); err != nil {
+		return err
+	}
+	ship := httptest.NewServer(shipper.ShipHandler())
+	defer ship.Close()
+
+	// Replicas: stateless servers fed by receivers over real HTTP.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	replicas := make([]*service.Server, opts.clusterReplicas)
+	receivers := make([]*cluster.Receiver, opts.clusterReplicas)
+	for i := range replicas {
+		replicas[i], err = service.NewReplica(service.Config{})
+		if err != nil {
+			return err
+		}
+		receivers[i], err = cluster.NewReceiver(cluster.ReceiverConfig{
+			Writer:       ship.URL,
+			Server:       replicas[i],
+			Now:          time.Now,
+			HTTPClient:   ship.Client(),
+			PollInterval: 50 * time.Millisecond,
+			LongPoll:     time.Second,
+			Seed:         opts.seed + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+		rc := receivers[i]
+		go func() { rc.Run(ctx) }()
+	}
+
+	catchup := func() (time.Duration, error) {
+		began := time.Now()
+		deadline := began.Add(30 * time.Second)
+		want := writer.CurrentEpoch().Seq()
+		for _, rep := range replicas {
+			for {
+				if cur := rep.CurrentEpoch(); cur != nil && cur.Seq() >= want {
+					break
+				}
+				if time.Now().After(deadline) {
+					return 0, fmt.Errorf("replica did not reach epoch %d in 30s", want)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		return time.Since(began), nil
+	}
+	fullCatchup, err := catchup()
+	if err != nil {
+		return err
+	}
+	// A second refresh ships as a delta against the installed epoch.
+	if err := writer.Refresh(); err != nil {
+		return err
+	}
+	deltaCatchup, err := catchup()
+	if err != nil {
+		return err
+	}
+
+	targets := []string{
+		fmt.Sprintf("/v1/predictions?zone=%s&type=%s&probability=%v",
+			combos[0].Zone, combos[0].Type, opts.probability),
+		fmt.Sprintf("/v1/tables?combos=%s,%s&probability=%v",
+			combos[0], combos[1%len(combos)], opts.probability),
+		"/v1/combos",
+	}
+	identical, err := verifyByteEquality(writer, replicas, targets)
+	if err != nil {
+		return err
+	}
+
+	// Throughput: each node measured sequentially under identical
+	// single-threaded conditions; the aggregate is the sum.
+	bench := targets[0]
+	single, err := measureHandler(writer.Handler(), bench, opts.duration)
+	if err != nil {
+		return fmt.Errorf("writer throughput: %w", err)
+	}
+	aggregate := single.rps
+	for i, rep := range replicas {
+		rs, err := measureHandler(rep.Handler(), bench, opts.duration)
+		if err != nil {
+			return fmt.Errorf("replica %d throughput: %w", i, err)
+		}
+		aggregate += rs.rps
+	}
+	speedup := aggregate / single.rps
+	stats := shipper.Stats()
+
+	nodes := fmt.Sprintf("%d", 1+opts.clusterReplicas)
+	labels := map[string]string{
+		"nodes":    nodes,
+		"replicas": fmt.Sprintf("%d", opts.clusterReplicas),
+		"request":  bench,
+		"duration": opts.duration.String(),
+	}
+	report := benchio.NewReport(time.Now().UTC())
+	report.Add(benchio.Result{
+		Name: "cluster/single-node", Kind: "cluster", Labels: labels,
+		Metrics: map[string]float64{
+			"throughput_rps": single.rps, "ns_per_op": single.nsPerOp,
+			"allocs_per_op": single.allocsPerOp,
+		},
+	})
+	report.Add(benchio.Result{
+		Name: "cluster/aggregate", Kind: "cluster", Labels: labels,
+		Metrics: map[string]float64{"throughput_rps": aggregate},
+	})
+	report.Add(benchio.Result{
+		Name: "cluster/speedup", Kind: "cluster", Labels: labels,
+		Metrics: map[string]float64{"speedup_x": speedup},
+	})
+	report.Add(benchio.Result{
+		Name: "cluster/replication", Kind: "cluster", Labels: labels,
+		Metrics: map[string]float64{
+			"byte_identical":     boolMetric(identical),
+			"full_catchup_ms":    float64(fullCatchup.Milliseconds()),
+			"delta_catchup_ms":   float64(deltaCatchup.Milliseconds()),
+			"ship_streams":       float64(stats.Streams),
+			"ship_fulls":         float64(stats.Fulls),
+			"ship_deltas":        float64(stats.Deltas),
+			"ship_bytes":         float64(stats.Bytes),
+			"ship_frames":        float64(stats.Frames),
+			"installed_epoch":    float64(stats.Epoch),
+			"verified_endpoints": float64(len(targets)),
+		},
+	})
+	if err := benchio.Write(opts.clusterOut, report); err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %s nodes, single %.0f rps, aggregate %.0f rps (%.2fx), byte_identical=%v\n",
+		nodes, single.rps, aggregate, speedup, identical)
+	fmt.Printf("cluster report written to %s\n", opts.clusterOut)
+	if !identical {
+		return fmt.Errorf("cluster nodes served differing bytes")
+	}
+	return nil
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// verifyByteEquality asserts the serving contract across nodes: identical
+// status, body, and ETag for each target, and a 304 when revalidating at
+// a replica with the writer's ETag.
+func verifyByteEquality(writer *service.Server, replicas []*service.Server, targets []string) (bool, error) {
+	wh := writer.Handler()
+	for _, target := range targets {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		wrec := httptest.NewRecorder()
+		wh.ServeHTTP(wrec, req)
+		if wrec.Code != http.StatusOK {
+			return false, fmt.Errorf("writer GET %s: %d", target, wrec.Code)
+		}
+		etag := wrec.Header().Get("ETag")
+		for i, rep := range replicas {
+			rrec := httptest.NewRecorder()
+			rep.Handler().ServeHTTP(rrec, req)
+			if rrec.Code != http.StatusOK {
+				return false, fmt.Errorf("replica %d GET %s: %d", i, target, rrec.Code)
+			}
+			if !bytes.Equal(rrec.Body.Bytes(), wrec.Body.Bytes()) {
+				return false, nil
+			}
+			if rrec.Header().Get("ETag") != etag {
+				return false, nil
+			}
+			reval := httptest.NewRequest(http.MethodGet, target, nil)
+			reval.Header.Set("If-None-Match", etag)
+			vrec := httptest.NewRecorder()
+			rep.Handler().ServeHTTP(vrec, reval)
+			if vrec.Code != http.StatusNotModified {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

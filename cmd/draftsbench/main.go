@@ -14,6 +14,10 @@
 //	                           stdin) into the same report
 //	-trace-overhead            in-process tracing A/B (off vs 1%% vs 100%%
 //	                           sampling) writing BENCH_trace.json
+//	-cluster                   in-process replication A/B: a writer shipping
+//	                           epochs to -cluster-replicas replicas, verified
+//	                           byte-identical, aggregate read throughput vs
+//	                           the single node, writing BENCH_cluster.json
 //
 // Load shape against a live target:
 //
@@ -81,6 +85,11 @@ type options struct {
 
 	traceOverhead bool
 	traceOut      string
+
+	cluster         bool
+	clusterReplicas int
+	clusterCombos   int
+	clusterOut      string
 }
 
 func main() {
@@ -105,9 +114,13 @@ func main() {
 	flag.StringVar(&opts.overloadOut, "overload-out", "BENCH_overload.json", "overload report output path")
 	flag.BoolVar(&opts.traceOverhead, "trace-overhead", false, "in-process tracing-overhead A/B: tracing off vs 1%% vs 100%% sampling")
 	flag.StringVar(&opts.traceOut, "trace-out", "BENCH_trace.json", "tracing-overhead report output path")
+	flag.BoolVar(&opts.cluster, "cluster", false, "in-process cluster A/B: replicate a writer to -cluster-replicas replicas, verify byte equality, and measure aggregate read throughput")
+	flag.IntVar(&opts.clusterReplicas, "cluster-replicas", 2, "replica count for -cluster")
+	flag.IntVar(&opts.clusterCombos, "cluster-combos", 3, "combos in the -cluster writer")
+	flag.StringVar(&opts.clusterOut, "cluster-out", "BENCH_cluster.json", "cluster report output path")
 	flag.Parse()
 
-	if opts.target == "" && !opts.direct && opts.gobench == "" && !opts.traceOverhead {
+	if opts.target == "" && !opts.direct && opts.gobench == "" && !opts.traceOverhead && !opts.cluster {
 		fmt.Fprintln(os.Stderr, "draftsbench: nothing to do; pass -target, -direct, and/or -gobench (see -h)")
 		os.Exit(2)
 	}
@@ -143,6 +156,11 @@ func main() {
 	}
 	if opts.traceOverhead {
 		if err := runTraceOverhead(opts); err != nil {
+			fatal(err)
+		}
+	}
+	if opts.cluster {
+		if err := runCluster(opts); err != nil {
 			fatal(err)
 		}
 	}

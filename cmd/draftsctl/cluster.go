@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/drafts-go/drafts/internal/cluster"
+	"github.com/drafts-go/drafts/internal/service"
+)
+
+// runCluster renders /v1/cluster/status — for the -server node alone, or
+// for every node in -peers. Each node is queried with the same retry
+// policy as the rest of the CLI (three attempts, jittered backoff), and a
+// node that stays down becomes a row marked unreachable rather than a
+// fatal error: the operator asking "how is the cluster" most needs the
+// answer when part of it is broken.
+func runClusterStatus(cl *service.Client, args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	peers := fs.String("peers", "", "comma-separated node base URLs (default: just -server)")
+	raw := fs.Bool("json", false, "dump the raw status JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	nodes := []string{strings.TrimRight(cl.BaseURL, "/")}
+	if *peers != "" {
+		nodes = nodes[:0]
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				nodes = append(nodes, p)
+			}
+		}
+	}
+
+	type row struct {
+		Addr   string          `json:"addr"`
+		Status *cluster.Status `json:"status,omitempty"`
+		Err    string          `json:"err,omitempty"`
+	}
+	rows := make([]row, 0, len(nodes))
+	for _, addr := range nodes {
+		nc := &service.Client{
+			BaseURL: addr,
+			Timeout: cl.Timeout,
+			Retries: cl.Retries,
+			Tracer:  cl.Tracer,
+		}
+		var st cluster.Status
+		if err := nc.GetJSON("/v1/cluster/status", nil, &st); err != nil {
+			rows = append(rows, row{Addr: addr, Err: err.Error()})
+			continue
+		}
+		rows = append(rows, row{Addr: addr, Status: &st})
+	}
+
+	if *raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tROLE\tEPOCH\tLAG\tTABLES\tLAST-ERROR")
+	var ring []string
+	for _, r := range rows {
+		if r.Status == nil {
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\tunreachable: %s\n", r.Addr, r.Err)
+			continue
+		}
+		st := r.Status
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\n",
+			r.Addr, st.Role, st.Epoch, st.EpochLag, st.Tables, dash(st.LastShipError))
+		if len(st.Ring) > 0 {
+			ring = st.Ring
+		}
+		// A node running membership knows about peers we were not told
+		// about on the command line; show what it sees.
+		for _, p := range st.Peers {
+			state := "healthy"
+			if !p.Healthy {
+				state = "down: " + dash(p.Err)
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%d\t-\t-\t%s\n", p.Addr, dash(p.Role), p.Epoch, state)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(ring) > 0 {
+		fmt.Printf("\nread ring: %s\n", strings.Join(ring, " "))
+	}
+	return nil
+}
+
+func dash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -4,12 +4,13 @@
 //	draftsctl table -zone us-east-1b -type c4.large -p 0.99
 //	draftsctl bid -zone us-east-1b -type c4.large -p 0.99 -duration 2h
 //	draftsctl flight
+//	draftsctl cluster -peers http://w:8732,http://r1:8733
 //
 // "table" prints the bid-vs-duration relationship (the data behind
 // Figure 4); "bid" answers the user question directly: the smallest bid
 // that guarantees the duration; "flight" dumps the daemon's flight
 // recorder — retained error/shed/slow traces first, then the most recent
-// completed ones.
+// completed ones; "cluster" renders each node's replication status.
 package main
 
 import (
@@ -58,6 +59,8 @@ func main() {
 		err = runBid(cl, flag.Args()[1:])
 	case "flight":
 		err = runFlight(cl, flag.Args()[1:])
+	case "cluster":
+		err = runClusterStatus(cl, flag.Args()[1:])
 	default:
 		usage()
 	}
@@ -68,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: draftsctl [-server URL] combos | table | bid | flight [options]")
+	fmt.Fprintln(os.Stderr, "usage: draftsctl [-server URL] combos | table | bid | flight | cluster [options]")
 	os.Exit(2)
 }
 

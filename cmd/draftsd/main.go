@@ -32,7 +32,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -44,6 +43,7 @@ import (
 	"time"
 
 	"github.com/drafts-go/drafts/internal/cloudsim"
+	"github.com/drafts-go/drafts/internal/cluster"
 	"github.com/drafts-go/drafts/internal/core"
 	"github.com/drafts-go/drafts/internal/history"
 	"github.com/drafts-go/drafts/internal/market"
@@ -82,6 +82,11 @@ type options struct {
 	traceSlow   time.Duration
 	traceSeed   int64
 	flightSize  int
+
+	role      string // writer | replica | router
+	replicaOf string // writer base URL (replica role)
+	peers     string // comma-separated peer base URLs (membership/ring)
+	advertise string // this node's own base URL as peers reach it
 }
 
 func main() {
@@ -105,12 +110,27 @@ func main() {
 	flag.DurationVar(&opts.traceSlow, "trace-slow", 0, "latency threshold beyond which a trace is retained as slow (0 disables)")
 	flag.Int64Var(&opts.traceSeed, "trace-seed", 0, "trace ID generator seed (0 = time-seeded)")
 	flag.IntVar(&opts.flightSize, "flight", 0, "flight-recorder ring size per ring (0 = default)")
+	flag.StringVar(&opts.role, "role", "writer", "node role: writer (computes tables), replica (installs shipped epochs), or router (forwards reads over the ring)")
+	flag.StringVar(&opts.replicaOf, "replica-of", "", "writer base URL to replicate from (required with -role=replica)")
+	flag.StringVar(&opts.peers, "peers", "", "comma-separated peer base URLs to poll for ring membership")
+	flag.StringVar(&opts.advertise, "advertise", "", "this node's own base URL as peers reach it (e.g. http://10.0.0.2:8732)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
 	logger := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat == "json")
 	slog.SetDefault(logger)
-	if err := run(logger, opts); err != nil {
+	var err error
+	switch opts.role {
+	case "writer":
+		err = run(logger, opts)
+	case "replica":
+		err = runReplica(logger, opts)
+	case "router":
+		err = runRouter(logger, opts)
+	default:
+		err = fmt.Errorf("unknown -role %q (want writer, replica, or router)", opts.role)
+	}
+	if err != nil {
 		logger.Error("draftsd failed", "err", err)
 		os.Exit(1)
 	}
@@ -123,22 +143,12 @@ func run(logger *slog.Logger, opts options) error {
 	market.RegisterMetrics(reg)
 	cloudsim.RegisterMetrics(reg)
 	store.RegisterMetrics(reg)
+	cluster.RegisterMetrics(reg)
 	telemetry.RegisterRuntime(reg)
 
-	traceSeed := opts.traceSeed
-	if traceSeed == 0 {
-		traceSeed = time.Now().UnixNano()
-	}
-	tracer, err := trace.New(trace.Config{
-		SampleRate:    opts.traceSample,
-		Seed:          traceSeed,
-		Now:           time.Now,
-		SlowThreshold: opts.traceSlow,
-		FlightRecent:  opts.flightSize,
-		FlightErrors:  opts.flightSize,
-	})
+	tracer, err := newTracer(opts)
 	if err != nil {
-		return fmt.Errorf("configuring tracer: %w", err)
+		return err
 	}
 	registerTracerStats(reg, tracer)
 
@@ -164,6 +174,15 @@ func run(logger *slog.Logger, opts options) error {
 		return err
 	}
 
+	// Every epoch the writer installs is also published to the shipper so
+	// replicas can pull it. The interface nil-check matters: assign the WAL
+	// only when the store exists, or the interface holds a typed nil.
+	shipCfg := cluster.ShipperConfig{Logger: logger}
+	if durable != nil {
+		shipCfg.WAL = durable
+	}
+	shipper := cluster.NewShipper(shipCfg)
+
 	cfg := service.Config{
 		Source:         hist,
 		RefreshEvery:   opts.refresh,
@@ -176,6 +195,7 @@ func run(logger *slog.Logger, opts options) error {
 		AdviseBudget:   opts.adviseBudget,
 		MaxStaleness:   opts.maxStaleness,
 		Tracer:         tracer,
+		OnEpoch:        shipper.Publish,
 	}
 	if durable != nil {
 		cfg.Durable = durable
@@ -207,14 +227,30 @@ func run(logger *slog.Logger, opts options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	mem, err := startMembership(ctx, logger, opts)
+	if err != nil {
+		return err
+	}
+
 	logger.Info("computing initial bid tables")
 	if err := srv.Start(ctx); err != nil {
 		return err
 	}
 
+	node := &cluster.Node{
+		Role:       "writer",
+		Self:       opts.advertise,
+		Epochs:     srv,
+		Shipper:    shipper,
+		Membership: mem,
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /v1/cluster/ship", shipper.ShipHandler())
+	mux.Handle("GET /v1/cluster/wal", shipper.WALHandler())
+	mux.Handle("GET /v1/cluster/status", node.StatusHandler())
 	if opts.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -224,28 +260,10 @@ func run(logger *slog.Logger, opts options) error {
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
-	hs := &http.Server{Addr: opts.addr, Handler: mux}
-	done := make(chan error, 1)
-	go func() {
-		// On signal: stop accepting, drain in-flight requests, and let the
-		// cancelled ctx wind down the refresh goroutine.
-		<-ctx.Done()
-		logger.Info("shutting down", "timeout", shutdownTimeout)
-		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
-		defer cancel()
-		done <- hs.Shutdown(sctx)
-	}()
-
 	logger.Info("draftsd listening",
-		"addr", opts.addr, "combos", len(hist.Combos()), "refresh", opts.refresh)
-	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		return err
-	}
-	if err := <-done; err != nil {
-		return err
-	}
-	logger.Info("draftsd stopped")
-	return nil
+		"addr", opts.addr, "role", "writer",
+		"combos", len(hist.Combos()), "refresh", opts.refresh)
+	return serve(ctx, logger, opts.addr, mux)
 }
 
 // registerTracerStats publishes the tracer's lifetime counters as gauges,

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/service"
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+var clusterCombos = []spot.Combo{
+	{Zone: "us-east-1b", Type: "c4.large"},
+	{Zone: "us-east-1c", Type: "c4.large"},
+	{Zone: "us-west-1a", Type: "c3.2xlarge"},
+}
+
+// newRealWriter builds a full writer service (real histories, real
+// refresh) wired to a shipper, exactly as draftsd does.
+func newRealWriter(t *testing.T) (*service.Server, *Shipper) {
+	t.Helper()
+	st := history.NewStore()
+	start := time.Now().UTC().Add(-9000 * spot.UpdatePeriod).Truncate(spot.UpdatePeriod)
+	if err := (pricegen.Generator{Seed: 31}).Populate(st, clusterCombos, start, 9000); err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShipper(ShipperConfig{MaxWait: 10 * time.Millisecond})
+	srv, err := service.New(service.Config{
+		Source:     st,
+		MaxHistory: 9000,
+		OnEpoch:    sh.Publish,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	return srv, sh
+}
+
+// TestCrossNodeByteEquality replicates a real writer's epoch to a replica
+// and asserts the serving contract is byte-identical across nodes: same
+// bodies, same ETags, and a 304 on revalidation against either node's
+// ETag — regardless of which node minted it.
+func TestCrossNodeByteEquality(t *testing.T) {
+	writer, sh := newRealWriter(t)
+	ts := httptest.NewServer(sh.ShipHandler())
+	defer ts.Close()
+	replica, rc := newTestReplica(t, ts.URL, ts.Client())
+	if _, err := rc.step(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	assertEpochEqual(t, replica.CurrentEpoch(), writer.CurrentEpoch())
+
+	wh, rh := writer.Handler(), replica.Handler()
+	paths := []string{
+		"/v1/predictions?zone=us-east-1b&type=c4.large&probability=0.99",
+		"/v1/predictions?zone=us-west-1a&type=c3.2xlarge&probability=0.95",
+		"/v1/tables?combos=us-east-1b/c4.large,us-east-1c/c4.large&probability=0.99",
+		"/v1/combos",
+	}
+	for _, path := range paths {
+		wBody, wETag := get(t, wh, path, "")
+		rBody, rETag := get(t, rh, path, "")
+		if wETag == "" || wETag != rETag {
+			t.Fatalf("%s: ETag %q (writer) != %q (replica)", path, wETag, rETag)
+		}
+		if string(wBody) != string(rBody) {
+			t.Fatalf("%s: bodies differ across nodes", path)
+		}
+
+		// Revalidation must succeed cross-node: an ETag minted by the writer
+		// answers 304 at the replica and vice versa.
+		for _, h := range []http.Handler{wh, rh} {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			req.Header.Set("If-None-Match", wETag)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusNotModified {
+				t.Fatalf("%s: revalidation answered %d, want 304", path, rec.Code)
+			}
+			if rec.Body.Len() != 0 {
+				t.Fatalf("%s: 304 carried a body", path)
+			}
+		}
+	}
+}
+
+func get(t *testing.T, h http.Handler, path, inm string) ([]byte, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", path, rec.Code, rec.Body.String())
+	}
+	return rec.Body.Bytes(), rec.Header().Get("ETag")
+}
+
+// TestWALHandlerWithoutWAL pins the gate: a writer without durable state
+// serves 404 on the WAL endpoint and receivers stop asking.
+func TestWALHandlerWithoutWAL(t *testing.T) {
+	sh := NewShipper(ShipperConfig{})
+	rec := httptest.NewRecorder()
+	sh.WALHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/cluster/wal", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", rec.Code)
+	}
+}
+
+func TestNodeStatus(t *testing.T) {
+	writer, sh := newRealWriter(t)
+	node := &Node{Role: "writer", Self: "http://w:1", Epochs: writer, Shipper: sh}
+	st := node.Status()
+	if st.Role != "writer" || st.Epoch == 0 || st.ETag == "" || st.Tables == 0 {
+		t.Fatalf("writer status %+v", st)
+	}
+	if st.Ship == nil || st.Ship.Epoch != st.Epoch {
+		t.Fatalf("ship stats %+v", st.Ship)
+	}
+
+	ts := httptest.NewServer(sh.ShipHandler())
+	defer ts.Close()
+	replica, rc := newTestReplica(t, ts.URL, ts.Client())
+	if _, err := rc.step(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	rst := (&Node{Role: "replica", Epochs: replica, Receiver: rc}).Status()
+	if rst.Epoch != st.Epoch || rst.ETag != st.ETag || rst.EpochLag != 0 {
+		t.Fatalf("replica status %+v vs writer %+v", rst, st)
+	}
+
+	// The handler round-trips as JSON.
+	srv := httptest.NewServer(node.StatusHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("status handler: %d %q", resp.StatusCode, body)
+	}
+}

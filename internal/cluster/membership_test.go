@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeNode is a peer that answers /v1/cluster/status with a canned Status
+// and serves a distinguishable body for everything else.
+type fakeNode struct {
+	status atomic.Pointer[Status]
+	body   string
+	code   atomic.Int64 // non-status response code; 0 = 200
+	ts     *httptest.Server
+}
+
+func newFakeNode(t *testing.T, role string, epoch uint64, body string) *fakeNode {
+	t.Helper()
+	n := &fakeNode{body: body}
+	n.status.Store(&Status{Role: role, Epoch: epoch, ETag: fmt.Sprintf("%q", body)})
+	n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/cluster/status" {
+			_ = json.NewEncoder(w).Encode(n.status.Load())
+			return
+		}
+		if c := n.code.Load(); c != 0 {
+			w.WriteHeader(int(c))
+			return
+		}
+		w.Header().Set("X-Served-By", n.body)
+		fmt.Fprint(w, n.body)
+	}))
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+func TestMembershipPollBuildsRing(t *testing.T) {
+	writer := newFakeNode(t, "writer", 5, "writer-node")
+	replica := newFakeNode(t, "replica", 5, "replica-node")
+	empty := newFakeNode(t, "replica", 0, "no-epoch-yet") // unhealthy: nothing installed
+	down := newFakeNode(t, "replica", 5, "down-node")
+	down.ts.Close() // unreachable
+
+	m, err := NewMembership(MembershipConfig{
+		Peers: []string{writer.ts.URL, replica.ts.URL, empty.ts.URL, down.ts.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Poll(t.Context())
+
+	ring := m.Ring()
+	if ring.Len() != 2 {
+		t.Fatalf("ring has %d members, want 2 (writer + replica): %v", ring.Len(), ring.Members())
+	}
+	if url, ok := m.WriterURL(); !ok || url != writer.ts.URL {
+		t.Fatalf("WriterURL = %q, %v", url, ok)
+	}
+	healthy := 0
+	for _, p := range m.Peers() {
+		if p.Healthy {
+			healthy++
+		}
+	}
+	if healthy != 2 {
+		t.Fatalf("%d healthy peers, want 2: %+v", healthy, m.Peers())
+	}
+
+	// The empty replica installs its first epoch: next poll adds it.
+	empty.status.Store(&Status{Role: "replica", Epoch: 1})
+	m.Poll(t.Context())
+	if m.Ring().Len() != 3 {
+		t.Fatalf("ring did not grow to 3: %v", m.Ring().Members())
+	}
+}
+
+func TestNewMembershipValidation(t *testing.T) {
+	if _, err := NewMembership(MembershipConfig{}); err == nil {
+		t.Error("empty peer list accepted")
+	}
+}
+
+func newTestRouter(t *testing.T, m *Membership) *httptest.Server {
+	t.Helper()
+	rt, err := NewRouter(RouterConfig{Membership: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func routerGet(t *testing.T, base, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, string(body), resp.Header.Get("X-Served-By")
+}
+
+func TestRouterPlacementMatchesClient(t *testing.T) {
+	a := newFakeNode(t, "writer", 3, "node-a")
+	b := newFakeNode(t, "replica", 3, "node-b")
+	m, err := NewMembership(MembershipConfig{Peers: []string{a.ts.URL, b.ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Poll(t.Context())
+	ts := newTestRouter(t, m)
+
+	// Every request for one combo lands on the ring owner — the same node
+	// every time, and the node the ring itself names.
+	path := "/v1/predictions?zone=us-east-1b&type=c4.large&probability=0.99"
+	owner, _ := m.Ring().Lookup(RouteKey("/v1/predictions", "zone=us-east-1b&type=c4.large&probability=0.99"))
+	for i := 0; i < 5; i++ {
+		code, _, served := routerGet(t, ts.URL, path)
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		wantBody := "node-a"
+		if owner == b.ts.URL {
+			wantBody = "node-b"
+		}
+		if served != wantBody {
+			t.Fatalf("request %d served by %q, want %q", i, served, wantBody)
+		}
+	}
+}
+
+func TestRouterFailsOverOnRetryableStatus(t *testing.T) {
+	a := newFakeNode(t, "writer", 3, "node-a")
+	b := newFakeNode(t, "replica", 3, "node-b")
+	m, err := NewMembership(MembershipConfig{Peers: []string{a.ts.URL, b.ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Poll(t.Context())
+	ts := newTestRouter(t, m)
+
+	path := "/v1/predictions?zone=us-east-1b&type=c4.large&probability=0.99"
+	key := RouteKey("/v1/predictions", "zone=us-east-1b&type=c4.large&probability=0.99")
+	owner, _ := m.Ring().Lookup(key)
+	ownerNode, otherNode := a, b
+	if owner == b.ts.URL {
+		ownerNode, otherNode = b, a
+	}
+
+	// The owner starts shedding (503): the router walks clockwise to the
+	// sibling instead of surfacing the failure.
+	ownerNode.code.Store(http.StatusServiceUnavailable)
+	code, _, served := routerGet(t, ts.URL, path)
+	if code != http.StatusOK || served != otherNode.body {
+		t.Fatalf("failover: status %d served by %q, want 200 from %q", code, served, otherNode.body)
+	}
+
+	// Every candidate shedding: the last node's 503 is relayed verbatim, so
+	// the client sees the real envelope, not a synthetic one.
+	otherNode.code.Store(http.StatusServiceUnavailable)
+	code, _, _ = routerGet(t, ts.URL, path)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted ring answered %d, want relayed 503", code)
+	}
+
+	// Every candidate unreachable at the transport: the router's own 502
+	// envelope with the retryable "overloaded" code.
+	a.ts.Close()
+	b.ts.Close()
+	code, body, _ := routerGet(t, ts.URL, path)
+	if code != http.StatusBadGateway {
+		t.Fatalf("dead ring answered %d, want 502", code)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil || env.Error.Code != "overloaded" {
+		t.Fatalf("envelope %q (err %v)", body, err)
+	}
+}
+
+func TestRouterAdviseGoesToWriter(t *testing.T) {
+	writer := newFakeNode(t, "writer", 3, "the-writer")
+	replica := newFakeNode(t, "replica", 3, "a-replica")
+	m, err := NewMembership(MembershipConfig{Peers: []string{replica.ts.URL, writer.ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Poll(t.Context())
+	ts := newTestRouter(t, m)
+
+	for i := 0; i < 3; i++ {
+		code, _, served := routerGet(t, ts.URL, "/v1/advise?zone=z&type=t&duration=2h")
+		if code != http.StatusOK || served != "the-writer" {
+			t.Fatalf("advise served by %q (status %d), want the writer", served, code)
+		}
+	}
+}
+
+func TestRouterWithEmptyRing(t *testing.T) {
+	gone := newFakeNode(t, "replica", 1, "gone")
+	m, err := NewMembership(MembershipConfig{Peers: []string{gone.ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone.ts.Close()
+	m.Poll(t.Context())
+	ts := newTestRouter(t, m)
+	code, _, _ := routerGet(t, ts.URL, "/v1/combos")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("empty ring answered %d, want 503", code)
+	}
+}

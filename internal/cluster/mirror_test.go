@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/service"
+	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/store"
+)
+
+var mirrorT0 = time.Date(2016, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func openStore(t *testing.T) (*store.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{Fsync: store.FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	return st, dir
+}
+
+func countTicks(t *testing.T, st *store.Store) int {
+	t.Helper()
+	n := 0
+	c := store.Cursor{}
+	for {
+		data, next, err := st.ReadWALTail(c, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			return n
+		}
+		if _, err := store.ScanRecords(data, func(store.Record) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		c = next
+	}
+}
+
+// TestMirrorTailReplicatesTicks drives the WAL mirror loop against a real
+// writer store: ticks cross the wire exactly once, the cursor persists,
+// and an incremental append arrives without rereading history.
+func TestMirrorTailReplicatesTicks(t *testing.T) {
+	writerStore, _ := openStore(t)
+	combo := spot.Combo{Zone: "us-east-1b", Type: "c4.large"}
+	for i := 0; i < 25; i++ {
+		if err := writerStore.AppendTick(combo, mirrorT0.Add(time.Duration(i)*spot.UpdatePeriod), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writerStore.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	sh := NewShipper(ShipperConfig{WAL: writerStore})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/cluster/wal", sh.WALHandler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	mirror, mirrorDir := openStore(t)
+	srv, err := service.NewReplica(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cursorPath := filepath.Join(mirrorDir, "replica-cursor.json")
+	rc, err := NewReceiver(ReceiverConfig{
+		Writer:     ts.URL,
+		Server:     srv,
+		Now:        testClock,
+		HTTPClient: ts.Client(),
+		Mirror:     mirror,
+		MirrorPath: cursorPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := t.Context()
+
+	if err := rc.mirrorTail(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := countTicks(t, mirror); n != 25 {
+		t.Fatalf("mirror holds %d ticks, want 25", n)
+	}
+	if _, err := os.Stat(cursorPath); err != nil {
+		t.Fatalf("cursor not persisted: %v", err)
+	}
+
+	// Catch-up is idempotent: a second pass adds nothing.
+	if err := rc.mirrorTail(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := countTicks(t, mirror); n != 25 {
+		t.Fatalf("re-mirror duplicated ticks: %d", n)
+	}
+
+	// One new tick at the writer arrives incrementally.
+	if err := writerStore.AppendTick(combo, mirrorT0.Add(time.Hour), 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.mirrorTail(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := countTicks(t, mirror); n != 26 {
+		t.Fatalf("mirror holds %d ticks after increment, want 26", n)
+	}
+
+	// A fresh receiver resumes from the persisted cursor, not from zero.
+	rc2, err := NewReceiver(ReceiverConfig{
+		Writer:     ts.URL,
+		Server:     srv,
+		Now:        testClock,
+		HTTPClient: ts.Client(),
+		Mirror:     mirror,
+		MirrorPath: cursorPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc2.mirrorTail(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := countTicks(t, mirror); n != 26 {
+		t.Fatalf("restarted mirror duplicated ticks: %d", n)
+	}
+}
+
+// TestMirrorDisabledWithoutWAL pins the negotiation: a writer with no
+// durable store answers 404 once and the receiver stops asking.
+func TestMirrorDisabledWithoutWAL(t *testing.T) {
+	sh := NewShipper(ShipperConfig{}) // no WAL
+	mux := http.NewServeMux()
+	mux.Handle("/v1/cluster/wal", sh.WALHandler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	mirror, dir := openStore(t)
+	srv, err := service.NewReplica(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewReceiver(ReceiverConfig{
+		Writer:     ts.URL,
+		Server:     srv,
+		Now:        testClock,
+		HTTPClient: ts.Client(),
+		Mirror:     mirror,
+		MirrorPath: filepath.Join(dir, "cursor.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.mirrorTail(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	rc.mu.Lock()
+	off := rc.mirrorOff
+	rc.mu.Unlock()
+	if !off {
+		t.Fatal("mirror not disabled after 404")
+	}
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"github.com/drafts-go/drafts/internal/telemetry"
+)
+
+// RouterConfig parameterizes the forwarding read tier.
+type RouterConfig struct {
+	// Membership supplies the ring and the writer's address.
+	Membership *Membership
+	// Self, when this router is also a serving node (writer or replica
+	// running -role with routing on), is its own ring address: keys it
+	// owns are answered by Local instead of a forwarded hop.
+	Self string
+	// Local is the local server's handler, used when Self owns the key.
+	Local http.Handler
+	// HTTPClient performs forwards (default http.DefaultClient).
+	HTTPClient *http.Client
+	// Logger receives forward failures. Nil discards them.
+	Logger *slog.Logger
+}
+
+// Router is the server-side half of the read tier: it owns no tables,
+// just forwards each read to the ring node that does. Placement matches
+// the client exactly — same hash, same key derivation — so a fleet can
+// mix router-fronted and ring-aware clients freely. Failover walks the
+// ring clockwise on the same conditions the client retries on: transport
+// errors and 502/503/504 (the envelope-less gateway statuses plus the
+// overloaded/stale family).
+type Router struct {
+	cfg RouterConfig
+}
+
+// NewRouter validates the configuration.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Membership == nil {
+		return nil, fmt.Errorf("cluster: router needs membership")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = telemetry.NopLogger()
+	}
+	return &Router{cfg: cfg}, nil
+}
+
+// RouteKey derives the placement key for a request — exported because
+// service.Client must derive the identical key client-side.
+//
+//	/v1/predictions  zone "/" type   (one combo, the cacheable read)
+//	/v1/tables       the first combo in the batch
+//	other            the path itself (stable, spreads uniformly)
+//
+// An empty key means "any node" (e.g. /v1/combos, identical everywhere).
+func RouteKey(path, rawQuery string) string {
+	q, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return ""
+	}
+	switch path {
+	case "/v1/predictions":
+		if z, t := q.Get("zone"), q.Get("type"); z != "" && t != "" {
+			return z + "/" + t
+		}
+	case "/v1/tables":
+		combos := q.Get("combos")
+		if i := strings.IndexByte(combos, ','); i >= 0 {
+			combos = combos[:i]
+		}
+		if combos != "" {
+			return combos
+		}
+	}
+	return ""
+}
+
+// ServeHTTP forwards one read to its ring owner.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Advise needs the predictors, which only the writer holds.
+	if r.URL.Path == "/v1/advise" {
+		if writer, ok := rt.cfg.Membership.WriterURL(); ok {
+			rt.forwardTo(w, r, []string{writer})
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, "stale", "no writer available")
+		return
+	}
+	ring := rt.cfg.Membership.Ring()
+	if ring.Len() == 0 {
+		httpError(w, http.StatusServiceUnavailable, "stale", "no serving nodes on the ring")
+		return
+	}
+	key := RouteKey(r.URL.Path, r.URL.RawQuery)
+	if key == "" {
+		key = r.URL.Path
+	}
+	rt.forwardTo(w, r, ring.Candidates(key, ring.Len()))
+}
+
+// forwardTo tries each candidate in ring order, serving locally when the
+// candidate is this node, and failing over before the first response
+// byte is written.
+func (rt *Router) forwardTo(w http.ResponseWriter, r *http.Request, candidates []string) {
+	for i, addr := range candidates {
+		if i > 0 {
+			mRouterFailover.Load().Inc()
+		}
+		if rt.cfg.Self != "" && addr == rt.cfg.Self && rt.cfg.Local != nil {
+			mRouterLocal.Load().Inc()
+			rt.cfg.Local.ServeHTTP(w, r)
+			return
+		}
+		resp, err := rt.forwardOnce(r, addr)
+		if err != nil {
+			rt.cfg.Logger.Debug("forward failed; trying next candidate",
+				"peer", addr, "err", err)
+			continue
+		}
+		if retryableStatus(resp.StatusCode) && i < len(candidates)-1 {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			rt.cfg.Logger.Debug("peer answered retryable status; trying next candidate",
+				"peer", addr, "status", resp.StatusCode)
+			continue
+		}
+		mRouterForward.Load().Inc()
+		copyResponse(w, resp)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "overloaded", "every ring candidate failed")
+}
+
+// forwardOnce proxies one request to addr, preserving path, query, and
+// headers (so If-None-Match revalidation and tracing survive the hop).
+func (rt *Router) forwardOnce(r *http.Request, addr string) (*http.Response, error) {
+	target := addr + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	return rt.cfg.HTTPClient.Do(req)
+}
+
+// retryableStatus mirrors the client's per-code retry rules for statuses
+// a healthy sibling might answer differently: gateway failures and the
+// overloaded/stale 503 family.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// copyResponse relays a proxied response verbatim.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer func() { _ = resp.Body.Close() }()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

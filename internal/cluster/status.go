@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/service"
+)
+
+// Status is the /v1/cluster/status wire shape — the gossip currency of
+// the cluster. Membership polls it to build the ring; draftsctl renders
+// it for operators.
+type Status struct {
+	Role   string    `json:"role"`
+	Self   string    `json:"self,omitempty"`
+	Epoch  uint64    `json:"epoch"`
+	ETag   string    `json:"etag,omitempty"`
+	AsOf   time.Time `json:"as_of,omitempty"`
+	Tables int       `json:"tables"`
+	Bytes  int       `json:"bytes"`
+
+	// Replica fields: how far behind the writer this node is.
+	WriterEpoch   uint64 `json:"writer_epoch,omitempty"`
+	EpochLag      uint64 `json:"epoch_lag"`
+	Installs      uint64 `json:"installs,omitempty"`
+	LastShipError string `json:"last_ship_error,omitempty"`
+
+	// Writer fields: lifetime shipping activity.
+	Ship *ShipStats `json:"ship,omitempty"`
+
+	// Present when the node runs membership (router, or any node given
+	// -peers): the last observed peer states and the current read ring.
+	Peers []PeerStatus `json:"peers,omitempty"`
+	Ring  []string     `json:"ring,omitempty"`
+}
+
+// Node ties one process's cluster parts together for status reporting:
+// whichever of the fields apply to its role are set, the rest are nil.
+type Node struct {
+	Role       string
+	Self       string
+	Epochs     interface{ CurrentEpoch() *service.Epoch }
+	Shipper    *Shipper
+	Receiver   *Receiver
+	Membership *Membership
+}
+
+// Status assembles the node's current status.
+func (n *Node) Status() Status {
+	st := Status{Role: n.Role, Self: n.Self}
+	if n.Epochs != nil {
+		if ep := n.Epochs.CurrentEpoch(); ep != nil {
+			st.Epoch = ep.Seq()
+			st.ETag = ep.ETag()
+			st.AsOf = ep.AsOf()
+			st.Tables = ep.NumTables()
+			st.Bytes = ep.SizeBytes()
+		}
+	}
+	if n.Receiver != nil {
+		rs := n.Receiver.Status()
+		st.WriterEpoch = rs.WriterEpoch
+		st.Installs = rs.Installs
+		st.LastShipError = rs.LastError
+		if rs.WriterEpoch > st.Epoch {
+			st.EpochLag = rs.WriterEpoch - st.Epoch
+		}
+	}
+	if n.Shipper != nil {
+		stats := n.Shipper.Stats()
+		st.Ship = &stats
+		st.WriterEpoch = st.Epoch // the writer is its own reference point
+	}
+	if n.Membership != nil {
+		st.Peers = n.Membership.Peers()
+		st.Ring = n.Membership.Ring().Members()
+	}
+	return st
+}
+
+// StatusHandler serves GET /v1/cluster/status.
+func (n *Node) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(n.Status())
+	})
+}
+
+// HealthHandler is a minimal /healthz for nodes (routers) that have no
+// service.Server of their own.
+func (n *Node) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok", "role": n.Role})
+	})
+}
+
+// httpError writes the service's uniform error envelope shape
+// ({"error":{"code","message","request_id"}}) from cluster handlers,
+// which sit outside the service middleware; the request ID is whatever a
+// gateway already stamped on the response headers, usually nothing.
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	type detail struct {
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		RequestID string `json:"request_id,omitempty"`
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]detail{"error": {
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get("X-Request-Id"),
+	}})
+}

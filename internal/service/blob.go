@@ -54,6 +54,7 @@ type blobKey struct {
 // It is built once per refresh (or snapshot restore) and installed with an
 // atomic pointer swap; handlers treat every byte as read-only.
 type encodedTables struct {
+	seq    uint64 // epoch sequence number, for replication ordering
 	asOf   time.Time
 	etag   string   // strong ETag derived from the refresh epoch, quoted
 	etagH  []string // preallocated header value: []string{etag}
@@ -144,9 +145,13 @@ func (s *Server) installBlobsTraced(tables map[tableKey]core.BidTable, asOf time
 		s.metrics.blobBytes.Set(0)
 		return
 	}
+	et.seq = s.epochSeq.Add(1)
 	s.blobs.Store(et)
 	s.metrics.blobBytes.Set(float64(et.bytes))
 	s.metrics.encodeDuration.Observe(time.Since(began).Seconds())
+	if hook := s.cfg.OnEpoch; hook != nil {
+		hook(&Epoch{et: et})
+	}
 }
 
 // fastQuery reports whether the raw query can be read by plain substring

@@ -47,12 +47,34 @@ func TestCachedGetZeroAllocs(t *testing.T) {
 	if err := traced.Refresh(); err != nil {
 		t.Fatal(err)
 	}
+	// A replica serving a replicated epoch must keep the same guarantee:
+	// rebuild the writer's epoch the way the cluster receiver does and
+	// install it into a replica server.
+	writer := testServer(t)
+	wep := writer.CurrentEpoch()
+	blobs := make(map[BlobKey][]byte, wep.NumTables())
+	for _, k := range wep.Keys() {
+		b, _ := wep.Blob(k)
+		blobs[k] = b
+	}
+	rebuilt, err := NewEpoch(wep.Seq(), wep.AsOf(), wep.Combos(), blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := NewReplica(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.InstallEpoch(rebuilt); err != nil {
+		t.Fatal(err)
+	}
 	servers := []struct {
 		name string
 		srv  *Server
 	}{
-		{"bare", testServer(t)},
+		{"bare", writer},
 		{"traced_1pct_unsampled", traced},
+		{"replica_installed_epoch", replica},
 	}
 	for _, tc := range servers {
 		t.Run(tc.name, func(t *testing.T) {

@@ -10,9 +10,11 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/drafts-go/drafts/internal/core"
+	"github.com/drafts-go/drafts/internal/hashring"
 	"github.com/drafts-go/drafts/internal/spot"
 	"github.com/drafts-go/drafts/internal/trace"
 )
@@ -47,9 +49,23 @@ type Client struct {
 	// adopts the client's trace ID, and its X-Request-Id — in logs, error
 	// envelopes, and /debug/flight — matches the ID the client holds.
 	Tracer *trace.Tracer
+	// Replicas, when non-empty, enables client-side read routing: the
+	// client hashes each keyed read (a combo, for /v1/predictions and
+	// /v1/tables) onto a consistent-hash ring over these base URLs — the
+	// same FNV ring the cluster router uses, so client-routed and
+	// router-fronted fleets place keys identically. Retries walk the
+	// ring clockwise (the node that would own the key next), then fall
+	// back to BaseURL; unkeyed reads (/v1/combos, /debug/flight) and
+	// /v1/advise (only the writer holds predictors) go to BaseURL as
+	// always. The per-code retry rules are unchanged — routing only
+	// changes WHERE each attempt goes.
+	Replicas []string
 
 	// sleep is the retry delay; tests stub it to run instantly.
 	sleep func(time.Duration)
+
+	ringOnce sync.Once
+	ring     *hashring.Ring
 }
 
 func (c *Client) http() *http.Client {
@@ -138,14 +154,53 @@ func retryAfter(err error) time.Duration {
 	return 0
 }
 
-func (c *Client) get(path string, query url.Values, out any) (err error) {
-	u, err := url.Parse(c.BaseURL)
-	if err != nil {
-		return fmt.Errorf("service client: bad base URL: %w", err)
+func (c *Client) get(path string, query url.Values, out any) error {
+	return c.getKeyed("", path, query, out)
+}
+
+// GetJSON performs one GET against the service with the client's full
+// retry/backoff/tracing machinery and decodes the JSON response into out.
+// It exists for endpoints outside the typed surface — draftsctl's cluster
+// status rendering being the canonical caller.
+func (c *Client) GetJSON(path string, query url.Values, out any) error {
+	return c.getKeyed("", path, query, out)
+}
+
+// bases returns the base URLs to try, in order, for a read placed by key.
+// With no replica list (or no key) every attempt goes to BaseURL; with
+// one, attempts walk the key's ring candidates — owner first, then the
+// nodes that would inherit the key — and BaseURL is the last resort when
+// it is not already on the ring.
+func (c *Client) bases(key string) []string {
+	if len(c.Replicas) == 0 || key == "" {
+		return []string{c.BaseURL}
 	}
-	u.Path = path
-	u.RawQuery = query.Encode()
-	target := u.String()
+	c.ringOnce.Do(func() {
+		c.ring = hashring.New(0, c.Replicas...)
+	})
+	out := c.ring.Candidates(key, c.ring.Len())
+	for _, b := range out {
+		if b == c.BaseURL {
+			return out
+		}
+	}
+	return append(out, c.BaseURL)
+}
+
+// getKeyed is get with read placement: key (a combo, normally) selects
+// which node each attempt targets via the client-side ring.
+func (c *Client) getKeyed(key, path string, query url.Values, out any) (err error) {
+	bases := c.bases(key)
+	targets := make([]string, len(bases))
+	for i, base := range bases {
+		u, uerr := url.Parse(base)
+		if uerr != nil {
+			return fmt.Errorf("service client: bad base URL %q: %w", base, uerr)
+		}
+		u.Path = path
+		u.RawQuery = query.Encode()
+		targets[i] = u.String()
+	}
 
 	tr := c.Tracer.StartTrace("client")
 	defer tr.End()
@@ -163,7 +218,7 @@ func (c *Client) get(path string, query url.Values, out any) (err error) {
 	var rng *rand.Rand
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		lastErr = c.getOnce(target, tr, out)
+		lastErr = c.getOnce(targets[attempt%len(targets)], tr, out)
 		if lastErr == nil || attempt >= c.Retries || !retryable(lastErr) {
 			return lastErr
 		}
@@ -269,7 +324,8 @@ func (c *Client) Predictions(combo spot.Combo, probability float64) (core.BidTab
 		q.Set("account", c.Account)
 	}
 	var tj TableJSON
-	if err := c.get("/v1/predictions", q, &tj); err != nil {
+	key := string(combo.Zone) + "/" + string(combo.Type)
+	if err := c.getKeyed(key, "/v1/predictions", q, &tj); err != nil {
 		return core.BidTable{}, err
 	}
 	_, table := FromJSON(tj)
@@ -293,7 +349,7 @@ func (c *Client) Tables(combos []spot.Combo, probability float64) ([]TableJSON, 
 	q.Set("combos", strings.Join(parts, ","))
 	q.Set("probability", strconv.FormatFloat(probability, 'f', -1, 64))
 	var out []TableJSON
-	if err := c.get("/v1/tables", q, &out); err != nil {
+	if err := c.getKeyed(parts[0], "/v1/tables", q, &out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -132,6 +132,13 @@ type Config struct {
 	// retention, and the slow-trace threshold are the Tracer's own
 	// configuration.
 	Tracer *trace.Tracer
+	// OnEpoch, when non-nil, is called after every blob-store install with
+	// the newly published epoch — on a writer after each refresh, on a
+	// replica after each InstallEpoch. It is the replication publish hook:
+	// the daemon points it at cluster.Shipper.Publish so freshly computed
+	// epochs ship to replicas. The hook runs synchronously on the
+	// installing goroutine and must not block.
+	OnEpoch func(*Epoch)
 }
 
 // DefaultIncrementalMaxTicks is the default cap on the incremental refresh
@@ -149,6 +156,13 @@ type Server struct {
 	logger         *slog.Logger
 	metrics        *serviceMetrics
 	incrementalMax int
+
+	// role is "writer" or "replica"; epochSeq is the writer-local epoch
+	// counter (replicas mirror the writer's value on install). Both exist
+	// for replication and /v1/cluster/status — the serving path ignores
+	// them.
+	role     string
+	epochSeq atomic.Uint64
 
 	// sem admits /v1/* requests when MaxConcurrent is configured; nil
 	// means no admission control. breaker gates the refresh loop's retry
@@ -177,12 +191,18 @@ type tableKey struct {
 	prob  float64
 }
 
-// New validates the configuration and returns a server with no tables yet;
-// call Refresh (or Start) to populate it.
+// New validates the configuration and returns a writer server with no
+// tables yet; call Refresh (or Start) to populate it. For a read-only
+// replication target, use NewReplica.
 func New(cfg Config) (*Server, error) {
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("service: nil source")
 	}
+	return newServer(cfg, roleWriter)
+}
+
+// newServer is the shared construction path behind New and NewReplica.
+func newServer(cfg Config, role string) (*Server, error) {
 	if len(cfg.Probabilities) == 0 {
 		cfg.Probabilities = []float64{0.95, 0.99}
 	}
@@ -237,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 		logger:         logger,
 		metrics:        newServiceMetrics(cfg.Metrics),
 		incrementalMax: incrementalMax,
+		role:           role,
 		breaker: resilience.NewBreaker(cfg.BreakerThreshold,
 			cfg.BreakerBackoff, cfg.BreakerMaxBackoff, time.Now().UnixNano()),
 		tables: make(map[tableKey]core.BidTable),
@@ -262,6 +283,9 @@ func New(cfg Config) (*Server, error) {
 // returns an error only when failures left it with nothing at all — the
 // one case where the previous table set should stay in place.
 func (s *Server) Refresh() error {
+	if s.role == roleReplica {
+		return fmt.Errorf("service: replica cannot refresh; epochs arrive via InstallEpoch")
+	}
 	began := time.Now()
 	// One trace per refresh cycle, forced into the flight recorder
 	// regardless of sampling: refreshes are rare (minutes apart) and the
@@ -518,6 +542,9 @@ func (s *Server) persist(now time.Time, tr *trace.Trace) {
 // periods and /healthz reports "degraded". The first successful probe
 // closes the breaker and restores the normal cadence.
 func (s *Server) Start(ctx context.Context) error {
+	if s.role == roleReplica {
+		return fmt.Errorf("service: replica has no refresh loop; run a cluster.Receiver instead")
+	}
 	s.mu.RLock()
 	warm := !s.asOf.IsZero()
 	s.mu.RUnlock()
@@ -710,7 +737,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	lastErr := s.lastErr
 	s.mu.RUnlock()
 	breaker := s.breakerState()
-	resp := map[string]any{"status": "ok", "tables": n, "as_of": asOf}
+	// Replicas never populate s.tables (they have no predictors); the
+	// installed epoch is the authoritative table count there.
+	var epoch uint64
+	if et := s.blobs.Load(); et != nil {
+		epoch = et.seq
+		if n == 0 {
+			n = len(et.tables)
+		}
+	}
+	resp := map[string]any{"status": "ok", "tables": n, "as_of": asOf,
+		"role": s.role, "epoch": epoch}
 	stale := true
 	if asOf.IsZero() {
 		resp["status"] = "empty"

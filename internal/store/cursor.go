@@ -1,0 +1,108 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cursor is a resumable position in the WAL: a segment number and a byte
+// offset within it. Cursors always sit on frame boundaries — ReadTail
+// only ever returns whole frames and advances the cursor past exactly the
+// bytes it returned — so a reader that resumes from a cursor it was
+// handed can never start mid-record. The zero Cursor reads from the
+// oldest live segment.
+//
+// Cursors are serializable (replica mirrors persist theirs as JSON next
+// to their state) and survive compaction: a cursor pointing into a
+// segment that retention has since deleted is clamped forward to the
+// oldest live segment.
+type Cursor struct {
+	Seg int   `json:"seg"`
+	Off int64 `json:"off"`
+}
+
+// ReadTail reads framed records from the WAL starting at c, returning up
+// to maxBytes of whole frames and the cursor to resume from. The returned
+// bytes are verbatim WAL framing (decode them with ScanRecords); a read
+// that returns no bytes with next == c means the reader is caught up.
+//
+// Torn or in-flight bytes at the active segment's tail are never
+// returned — the read stops at the last complete valid frame, exactly
+// where the next open's tail repair would truncate. A defective frame in
+// a sealed segment is corruption and fails the read, mirroring Replay.
+func (w *WAL) ReadTail(c Cursor, maxBytes int) ([]byte, Cursor, error) {
+	if maxBytes <= 0 {
+		return nil, c, fmt.Errorf("store: non-positive read budget %d", maxBytes)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, c, errors.New("store: read from closed WAL")
+	}
+	// Buffered appends must be visible to the file reads below.
+	if err := w.w.Flush(); err != nil {
+		return nil, c, err
+	}
+	if c.Seg > w.seq {
+		return nil, c, fmt.Errorf("store: cursor segment %d beyond active segment %d", c.Seg, w.seq)
+	}
+	// Clamp a cursor that compaction has passed: resume at the oldest live
+	// segment. w.segs is ascending and always contains the active segment.
+	seg, off := c.Seg, c.Off
+	i := 0
+	for i < len(w.segs) && w.segs[i] < seg {
+		i++
+	}
+	if i == len(w.segs) || w.segs[i] != seg {
+		seg, off = w.segs[i], 0
+	}
+
+	var out []byte
+	for ; i < len(w.segs); i++ {
+		seg = w.segs[i]
+		data, err := os.ReadFile(filepath.Join(w.dir, segName(seg)))
+		if err != nil {
+			return nil, c, err
+		}
+		if off > int64(len(data)) {
+			return nil, c, fmt.Errorf("store: cursor offset %d beyond segment %s (%d bytes)",
+				off, segName(seg), len(data))
+		}
+		valid, scanErr := scanFrames(data[off:], nil)
+		if scanErr != nil && seg != w.seq {
+			return nil, c, fmt.Errorf("store: corrupt sealed segment %s: %w", segName(seg), scanErr)
+		}
+		avail := data[off : off+valid]
+		if len(out)+len(avail) > maxBytes {
+			// Trim back to the last frame boundary within budget.
+			keep, _ := scanFrames(avail[:maxBytes-len(out)], nil)
+			out = append(out, avail[:keep]...)
+			return out, Cursor{Seg: seg, Off: off + keep}, nil
+		}
+		out = append(out, avail...)
+		off += valid
+		if i < len(w.segs)-1 {
+			off = 0
+			continue
+		}
+	}
+	return out, Cursor{Seg: seg, Off: off}, nil
+}
+
+// ReadWALTail reads framed tick records from the store's WAL starting at
+// c — the replication endpoint replicas poll to mirror price history. See
+// WAL.ReadTail for cursor semantics.
+func (s *Store) ReadWALTail(c Cursor, maxBytes int) ([]byte, Cursor, error) {
+	return s.wal.ReadTail(c, maxBytes)
+}
+
+// ScanRecords decodes the framed records in data — the bytes ReadTail
+// returns — calling fn for each. It returns the offset just past the last
+// valid frame and the error that stopped the scan (nil when data ends on
+// a frame boundary). Since ReadTail only ships whole validated frames,
+// any decode error here means the bytes were mangled in transit.
+func ScanRecords(data []byte, fn func(Record) error) (int64, error) {
+	return scanFrames(data, fn)
+}

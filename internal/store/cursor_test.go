@@ -1,0 +1,167 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/spot"
+)
+
+var cursorT0 = time.Date(2016, 10, 1, 0, 0, 0, 0, time.UTC)
+
+// openCursorStore opens a store with tiny segments so a handful of ticks
+// spans several WAL files.
+func openCursorStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Fsync: FsyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	return st, dir
+}
+
+func appendTicks(t *testing.T, st *Store, n int) []Record {
+	t.Helper()
+	c := spot.Combo{Zone: "us-east-1b", Type: "c4.large"}
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := Record{Combo: c, At: cursorT0.Add(time.Duration(i) * spot.UpdatePeriod), Price: 0.1 + float64(i)/1000}
+		if err := st.AppendTick(r.Combo, r.At, r.Price); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func drainTail(t *testing.T, st *Store, c Cursor, budget int) ([]Record, Cursor) {
+	t.Helper()
+	var out []Record
+	for {
+		data, next, err := st.ReadWALTail(c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			if next != c {
+				t.Fatalf("empty read moved cursor %+v -> %+v", c, next)
+			}
+			return out, next
+		}
+		if _, err := ScanRecords(data, func(r Record) error {
+			out = append(out, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("ReadTail returned undecodable bytes: %v", err)
+		}
+		c = next
+	}
+}
+
+func TestReadTailChunkedEqualsAppended(t *testing.T) {
+	st, dir := openCursorStore(t)
+	want := appendTicks(t, st, 40) // ~45 bytes/frame: spans several 256-byte segments
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal", "*.log"))
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, found %d segments", len(segs))
+	}
+
+	// A tiny budget forces many mid-segment resumes; the concatenation must
+	// still be every record, in order, exactly once.
+	got, end := drainTail(t, st, Cursor{}, 64)
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Combo != want[i].Combo || !got[i].At.Equal(want[i].At) || got[i].Price != want[i].Price {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+
+	// New appends become visible from the saved cursor without rereading.
+	c := spot.Combo{Zone: "us-east-1b", Type: "c4.large"}
+	if err := st.AppendTick(c, cursorT0.Add(time.Hour), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	more, _ := drainTail(t, st, end, 1<<20)
+	if len(more) != 1 || more[0].Price != 0.5 {
+		t.Fatalf("incremental read got %+v", more)
+	}
+}
+
+func TestReadTailSkipsTornTail(t *testing.T) {
+	st, dir := openCursorStore(t)
+	want := appendTicks(t, st, 3)
+
+	// Garbage after the last complete frame in the ACTIVE segment — a torn
+	// append. ReadTail must stop at the boundary, not fail, not ship it.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("globbing segments: %v %v", segs, err)
+	}
+	active := segs[len(segs)-1]
+	f, err := os.OpenFile(active, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	got, end := drainTail(t, st, Cursor{}, 1<<20)
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	// And the cursor parks at the boundary: the next read returns nothing
+	// rather than erroring on the torn bytes.
+	if data, _, err := st.ReadWALTail(end, 1<<20); err != nil || len(data) != 0 {
+		t.Fatalf("re-read at torn tail: %d bytes, %v", len(data), err)
+	}
+}
+
+func TestReadTailClampsCompactedCursor(t *testing.T) {
+	st, _ := openCursorStore(t)
+	appendTicks(t, st, 40)
+	// Retention deletes the sealed segments holding the oldest ticks.
+	if n, err := st.CompactBefore(cursorT0.Add(30 * spot.UpdatePeriod)); err != nil || n == 0 {
+		t.Fatalf("compaction removed %d segments: %v", n, err)
+	}
+
+	// A zero cursor (and any cursor into a deleted segment) clamps forward
+	// to the oldest live segment instead of failing.
+	got, _ := drainTail(t, st, Cursor{}, 1<<20)
+	if len(got) == 0 || len(got) >= 40 {
+		t.Fatalf("post-compaction read returned %d records", len(got))
+	}
+	for _, r := range got {
+		if r.At.Before(cursorT0.Add(10 * spot.UpdatePeriod)) {
+			t.Fatalf("compacted-away record resurfaced: %+v", r)
+		}
+	}
+}
+
+func TestReadTailRejectsBadCursors(t *testing.T) {
+	st, _ := openCursorStore(t)
+	appendTicks(t, st, 2)
+
+	if _, _, err := st.ReadWALTail(Cursor{}, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, _, err := st.ReadWALTail(Cursor{Seg: 999}, 1024); err == nil {
+		t.Error("future segment accepted")
+	}
+	// An offset beyond the ACTIVE segment's length is a defect, not a
+	// clamp: the cursor names a live segment but lies about its size.
+	if _, _, err := st.ReadWALTail(Cursor{Seg: st.wal.seq, Off: 1 << 30}, 1024); err == nil {
+		t.Error("offset beyond segment accepted")
+	}
+}
