@@ -35,6 +35,11 @@ type MembershipConfig struct {
 	Peers []string
 	// Interval is the poll period (default 2s).
 	Interval time.Duration
+	// ProbeTimeout bounds one peer's status probe (default: Interval).
+	// Probes run concurrently, so one whole poll also takes at most
+	// roughly this long — a black-holed peer cannot stall ring updates
+	// for the others.
+	ProbeTimeout time.Duration
 	// HTTPClient performs the polls (default http.DefaultClient).
 	HTTPClient *http.Client
 	// VirtualNodes configures the ring (default hashring's own).
@@ -65,6 +70,9 @@ func NewMembership(cfg MembershipConfig) (*Membership, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 2 * time.Second
 	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.Interval
+	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = http.DefaultClient
 	}
@@ -90,10 +98,23 @@ func (m *Membership) Run(ctx context.Context) {
 	}
 }
 
-// Poll refreshes every peer's status once and rebuilds the ring.
+// Poll refreshes every peer's status once and rebuilds the ring. Peers
+// are probed concurrently, each bounded by ProbeTimeout, so a single
+// unresponsive peer delays the poll by at most one timeout rather than
+// stalling ring updates for everyone behind it.
 func (m *Membership) Poll(ctx context.Context) {
-	for _, addr := range m.cfg.Peers {
-		ps := m.probe(ctx, addr)
+	statuses := make([]PeerStatus, len(m.cfg.Peers))
+	var wg sync.WaitGroup
+	for i, addr := range m.cfg.Peers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			statuses[i] = m.probe(ctx, addr)
+		}(i, addr)
+	}
+	wg.Wait()
+	for i, addr := range m.cfg.Peers {
+		ps := statuses[i]
 		m.mu.Lock()
 		prev, known := m.peers[addr]
 		m.peers[addr] = ps
@@ -106,8 +127,12 @@ func (m *Membership) Poll(ctx context.Context) {
 	m.rebuild()
 }
 
-// probe fetches one peer's /v1/cluster/status.
+// probe fetches one peer's /v1/cluster/status, bounded by ProbeTimeout
+// (cfg.HTTPClient defaults to http.DefaultClient, which has none of its
+// own).
 func (m *Membership) probe(ctx context.Context, addr string) PeerStatus {
+	ctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
+	defer cancel()
 	ps := PeerStatus{Addr: addr}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/cluster/status", nil)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // fakeNode is a peer that answers /v1/cluster/status with a canned Status
@@ -76,6 +77,41 @@ func TestMembershipPollBuildsRing(t *testing.T) {
 	m.Poll(t.Context())
 	if m.Ring().Len() != 3 {
 		t.Fatalf("ring did not grow to 3: %v", m.Ring().Members())
+	}
+}
+
+// TestPollBoundedByProbeTimeout pins the failure isolation: a black-holed
+// peer (accepts the connection, never answers) cannot stall the poll —
+// probes are bounded by ProbeTimeout and run concurrently, so the healthy
+// peers still make it onto the ring promptly.
+func TestPollBoundedByProbeTimeout(t *testing.T) {
+	healthy := newFakeNode(t, "writer", 1, "ok")
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // black hole: hold the request until cancelled
+	}))
+	t.Cleanup(hung.Close)
+
+	m, err := NewMembership(MembershipConfig{
+		Peers:        []string{hung.URL, healthy.ts.URL}, // hung peer first
+		ProbeTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	m.Poll(t.Context())
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("poll took %v with one hung peer; probes not bounded", elapsed)
+	}
+	if got := m.Ring().Len(); got != 1 {
+		t.Fatalf("ring has %d members, want 1 (the healthy writer)", got)
+	}
+	for _, ps := range m.Peers() {
+		if ps.Addr == hung.URL {
+			if ps.Healthy || ps.Err == "" {
+				t.Fatalf("hung peer reported as %+v, want unhealthy with an error", ps)
+			}
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -131,6 +132,67 @@ func TestMirrorTailReplicatesTicks(t *testing.T) {
 	}
 	if n := countTicks(t, mirror); n != 26 {
 		t.Fatalf("restarted mirror duplicated ticks: %d", n)
+	}
+}
+
+// failingSyncMirror delegates appends to a real store but refuses to make
+// them durable, modelling a mirror whose disk stopped accepting syncs.
+type failingSyncMirror struct {
+	TickMirror
+}
+
+func (f *failingSyncMirror) Sync() error { return errors.New("injected sync failure") }
+
+// TestMirrorCursorNotPersistedBeforeSync pins the durability order: the
+// cursor that marks ticks consumed must not be persisted (or advanced in
+// memory) until those ticks are synced — the reverse order would, across
+// a crash between the two writes, leave a durable cursor pointing past
+// ticks that never reached the mirror's disk.
+func TestMirrorCursorNotPersistedBeforeSync(t *testing.T) {
+	writerStore, _ := openStore(t)
+	combo := spot.Combo{Zone: "us-east-1b", Type: "c4.large"}
+	for i := 0; i < 5; i++ {
+		if err := writerStore.AppendTick(combo, mirrorT0.Add(time.Duration(i)*spot.UpdatePeriod), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writerStore.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShipper(ShipperConfig{WAL: writerStore})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/cluster/wal", sh.WALHandler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	mirror, mirrorDir := openStore(t)
+	srv, err := service.NewReplica(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cursorPath := filepath.Join(mirrorDir, "replica-cursor.json")
+	rc, err := NewReceiver(ReceiverConfig{
+		Writer:     ts.URL,
+		Server:     srv,
+		Now:        testClock,
+		HTTPClient: ts.Client(),
+		Mirror:     &failingSyncMirror{TickMirror: mirror},
+		MirrorPath: cursorPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.mirrorTail(t.Context()); err == nil {
+		t.Fatal("sync failure not surfaced")
+	}
+	if _, err := os.Stat(cursorPath); !os.IsNotExist(err) {
+		t.Fatalf("cursor persisted despite failed sync (stat err %v)", err)
+	}
+	rc.mu.Lock()
+	cur := rc.cursor
+	rc.mu.Unlock()
+	if cur != (store.Cursor{}) {
+		t.Fatalf("in-memory cursor advanced to %+v despite failed sync", cur)
 	}
 }
 

@@ -372,11 +372,13 @@ func (rc *Receiver) setStaging(st *staging) {
 	rc.mu.Unlock()
 }
 
+// noteWriter records the writer's latest announced epoch as-is (not
+// max-ed): a restarted writer legitimately renumbers from 1, and status
+// and lag reporting must follow it down rather than show a permanent
+// phantom lag against the old numbering.
 func (rc *Receiver) noteWriter(seq uint64) {
 	rc.mu.Lock()
-	if seq > rc.writerSeq {
-		rc.writerSeq = seq
-	}
+	rc.writerSeq = seq
 	rc.mu.Unlock()
 }
 
@@ -559,7 +561,6 @@ func (rc *Receiver) mirrorTail(ctx context.Context) error {
 	cur := rc.cursor
 	rc.mu.Unlock()
 
-	appended := false
 	for round := 0; round < 8; round++ {
 		if ctx.Err() != nil {
 			break
@@ -600,7 +601,14 @@ func (rc *Receiver) mirrorTail(ctx context.Context) error {
 			}); err != nil {
 				return err
 			}
-			appended = true
+			// Durability order: the appended ticks must reach the mirror's
+			// disk before the cursor marking them consumed is persisted. The
+			// reverse order would, across a crash between the two writes,
+			// leave a durable cursor pointing past ticks that were never
+			// synced — a silent permanent gap in the mirrored history.
+			if err := rc.cfg.Mirror.Sync(); err != nil {
+				return err
+			}
 		}
 		if next == cur {
 			break // caught up
@@ -615,9 +623,6 @@ func (rc *Receiver) mirrorTail(ctx context.Context) error {
 		if len(data) == 0 {
 			break
 		}
-	}
-	if appended {
-		return rc.cfg.Mirror.Sync()
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -426,5 +427,101 @@ func TestInstallEpochRejectsRegression(t *testing.T) {
 	}
 	if cur := srv.CurrentEpoch(); cur.Seq() != 2 {
 		t.Fatalf("serving epoch %d after rejected installs", cur.Seq())
+	}
+}
+
+// TestInstallEpochAcceptsWriterRestart covers the restart paths a bare
+// sequence comparison used to reject forever: epoch numbers are
+// writer-local and restart with the writer, so a seq-regressed epoch
+// carrying same-or-newer content must install (the replica re-anchors to
+// the new numbering), while genuinely stale deliveries still must not.
+func TestInstallEpochAcceptsWriterRestart(t *testing.T) {
+	combos := []byte(`{"combos":["us-east-1a/c4.large"]}`)
+	srv, err := service.NewReplica(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InstallEpoch(testEpoch(t, 5, blobsFor(5))); err != nil {
+		t.Fatal(err)
+	}
+
+	// The writer restarts from its snapshot and republishes the identical
+	// content under a reset counter: same asOf, same ETag, lower seq.
+	renumbered, err := service.NewEpoch(2, frameT0.Add(5*time.Minute), combos, blobsFor(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InstallEpoch(renumbered); err != nil {
+		t.Fatalf("renumbered same-content epoch rejected: %v", err)
+	}
+	if cur := srv.CurrentEpoch(); cur.Seq() != 2 {
+		t.Fatalf("replica did not re-anchor: serving epoch %d, want 2", cur.Seq())
+	}
+
+	// Stale deliveries still bounce: older content, and exact duplicates.
+	if err := srv.InstallEpoch(testEpoch(t, 1, blobsFor(1))); err == nil {
+		t.Error("older-content epoch accepted")
+	}
+	dup, err := service.NewEpoch(2, frameT0.Add(5*time.Minute), combos, blobsFor(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InstallEpoch(dup); err == nil {
+		t.Error("exact duplicate of the installed epoch accepted")
+	}
+
+	// A restarted writer's genuinely fresh refresh: seq 1 but newer asOf.
+	fresh, err := service.NewEpoch(1, frameT0.Add(time.Hour), combos, blobsFor(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InstallEpoch(fresh); err != nil {
+		t.Fatalf("restarted writer's fresh epoch rejected: %v", err)
+	}
+	if cur := srv.CurrentEpoch(); cur.Seq() != 1 || cur.ETag() != fresh.ETag() {
+		t.Fatalf("serving %d/%s after restart install, want 1/%s", cur.Seq(), cur.ETag(), fresh.ETag())
+	}
+}
+
+// TestReplicateSurvivesWriterRestart drives the full receiver path across
+// a writer restart: a replica converged at epoch 5 must converge onto a
+// fresh writer whose counter restarted at 1, rather than rejecting every
+// shipped snapshot until the new counter overtakes the old one.
+func TestReplicateSurvivesWriterRestart(t *testing.T) {
+	var current atomic.Pointer[Shipper]
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		current.Load().ShipHandler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	srv, rc := newTestReplica(t, ts.URL, ts.Client())
+	ctx := t.Context()
+
+	sh1 := NewShipper(ShipperConfig{MaxWait: 10 * time.Millisecond})
+	current.Store(sh1)
+	sh1.Publish(testEpoch(t, 5, blobsFor(5)))
+	if _, err := rc.step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if cur := srv.CurrentEpoch(); cur.Seq() != 5 {
+		t.Fatalf("replica at epoch %d, want 5", cur.Seq())
+	}
+
+	// Writer restarts behind the same URL: empty shipper, first epoch
+	// renumbered to 1 with content from a newer refresh.
+	sh2 := NewShipper(ShipperConfig{MaxWait: 10 * time.Millisecond})
+	fresh, err := service.NewEpoch(1, frameT0.Add(time.Hour),
+		[]byte(`{"combos":["us-east-1a/c4.large"]}`), blobsFor(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2.Publish(fresh)
+	current.Store(sh2)
+
+	if pause, err := rc.step(ctx); err != nil || pause {
+		t.Fatalf("post-restart step: pause=%v err=%v", pause, err)
+	}
+	assertEpochEqual(t, srv.CurrentEpoch(), fresh)
+	if st := rc.Status(); st.WriterEpoch != 1 {
+		t.Fatalf("receiver still tracks the pre-restart writer epoch: %+v", st)
 	}
 }

@@ -166,9 +166,15 @@ func (s *Server) CurrentEpoch() *Epoch {
 // It is the replica-side counterpart of the writer's installBlobs: the
 // same atomic.Pointer store, the same metrics, the same serve-immediately
 // semantics — but sourced from the wire rather than a local refresh.
-// Regressions are rejected: an epoch at or below the installed sequence
-// is a stale delivery (a re-ship after reconnect) and is dropped so a
-// racing catch-up can never roll the serving state backwards.
+// Regressions are rejected by content, not by bare sequence number:
+// sequence numbers are writer-local and restart with the writer, so an
+// epoch at or below the installed sequence is dropped only when it is
+// also a stale delivery — an exact duplicate of what is installed, or
+// content older (by asOf) than what is served. A seq-regressed epoch
+// carrying same-or-newer content is a restarted writer renumbering its
+// epochs; it is installed so the replica re-anchors to the new numbering
+// instead of rejecting every ship until the writer's counter overtakes
+// the old one.
 func (s *Server) InstallEpoch(ep *Epoch) error {
 	if ep == nil || ep.et == nil {
 		return fmt.Errorf("service: nil epoch")
@@ -178,10 +184,18 @@ func (s *Server) InstallEpoch(ep *Epoch) error {
 	}
 	s.mu.Lock()
 	if cur := s.blobs.Load(); cur != nil && ep.et.seq <= cur.seq {
-		installed := cur.seq
-		s.mu.Unlock()
-		return fmt.Errorf("service: epoch %d is not newer than installed epoch %d",
-			ep.et.seq, installed)
+		if ep.et.seq == cur.seq && ep.et.etag == cur.etag {
+			installed := cur.seq
+			s.mu.Unlock()
+			return fmt.Errorf("service: epoch %d is already installed", installed)
+		}
+		if ep.et.asOf.Before(cur.asOf) {
+			installed, asOf := cur.seq, cur.asOf
+			s.mu.Unlock()
+			return fmt.Errorf("service: epoch %d (asOf %s) is older than installed epoch %d (asOf %s)",
+				ep.et.seq, ep.et.asOf.Format(time.RFC3339), installed, asOf.Format(time.RFC3339))
+		}
+		// Fall through: a writer restart renumbered same-or-newer content.
 	}
 	s.blobs.Store(ep.et)
 	s.asOf = ep.et.asOf

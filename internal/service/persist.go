@@ -24,10 +24,16 @@ type Durable interface {
 // published bid table plus the online predictor that produced it. Entries
 // are sorted (zone, type, probability) so encoding is deterministic.
 type serviceSnapshot struct {
-	Version int             `json:"version"`
-	AsOf    time.Time       `json:"as_of"`
-	LastErr string          `json:"last_refresh_error,omitempty"`
-	Entries []snapshotEntry `json:"entries"`
+	Version int       `json:"version"`
+	AsOf    time.Time `json:"as_of"`
+	// EpochSeq is the epoch counter at snapshot time. Restoring it keeps
+	// the replication sequence monotonic across writer restarts, so
+	// long-lived replicas never see the writer's numbering run backwards.
+	// Absent in pre-replication snapshots (then the counter starts at 0,
+	// as before).
+	EpochSeq uint64          `json:"epoch_seq,omitempty"`
+	LastErr  string          `json:"last_refresh_error,omitempty"`
+	Entries  []snapshotEntry `json:"entries"`
 }
 
 type snapshotEntry struct {
@@ -71,7 +77,12 @@ func (s *Server) EncodeSnapshot() ([]byte, error) {
 		}
 		return a.prob < b.prob
 	})
-	snap := serviceSnapshot{Version: snapshotVersion, AsOf: s.asOf, LastErr: s.lastErr}
+	snap := serviceSnapshot{
+		Version:  snapshotVersion,
+		AsOf:     s.asOf,
+		EpochSeq: s.epochSeq.Load(),
+		LastErr:  s.lastErr,
+	}
 	for _, k := range keys {
 		table := s.tables[k]
 		entry := snapshotEntry{
@@ -147,6 +158,12 @@ func (s *Server) RestoreSnapshot(payload []byte) error {
 	s.asOf = snap.AsOf
 	s.lastErr = snap.LastErr
 	s.mu.Unlock()
+	// Resume the epoch counter where the snapshot left it, so the install
+	// below publishes as EpochSeq+1 and replication sequence numbers stay
+	// monotonic across a writer restart.
+	if cur := s.epochSeq.Load(); snap.EpochSeq > cur {
+		s.epochSeq.CompareAndSwap(cur, snap.EpochSeq)
+	}
 	// Pre-encode the restored tables under the snapshot's original epoch:
 	// the warm restart serves the same bytes — and the same ETag, so client
 	// caches keep revalidating successfully — it served before the crash.

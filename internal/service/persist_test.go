@@ -79,6 +79,47 @@ func TestSnapshotRestoreServesIdenticalBytes(t *testing.T) {
 	}
 }
 
+// TestSnapshotRestoreResumesEpochSeq pins the replication contract across
+// writer restarts: the epoch counter persists in the snapshot, so the
+// restore's own install publishes above the pre-crash sequence and
+// long-lived replicas never see the writer's numbering run backwards.
+func TestSnapshotRestoreResumesEpochSeq(t *testing.T) {
+	hist := testStore(t)
+	srv, err := New(Config{Source: hist, MaxHistory: 9000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := srv.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seq := srv.CurrentEpoch().Seq(); seq != 3 {
+		t.Fatalf("writer at epoch %d before restart, want 3", seq)
+	}
+	payload, err := srv.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(Config{Source: hist, MaxHistory: 9000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreSnapshot(payload); err != nil {
+		t.Fatal(err)
+	}
+	if seq := restored.CurrentEpoch().Seq(); seq != 4 {
+		t.Fatalf("restore installed epoch %d, want 4 (snapshot counter 3 + restore's install)", seq)
+	}
+	if err := restored.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if seq := restored.CurrentEpoch().Seq(); seq != 5 {
+		t.Fatalf("post-restore refresh installed epoch %d, want 5", seq)
+	}
+}
+
 // TestSnapshotRestoreReplaysTail verifies that predictors restored from a
 // snapshot catch up on history ticks appended after the snapshot was cut.
 func TestSnapshotRestoreReplaysTail(t *testing.T) {
