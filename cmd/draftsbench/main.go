@@ -18,6 +18,11 @@
 //	                           epochs to -cluster-replicas replicas, verified
 //	                           byte-identical, aggregate read throughput vs
 //	                           the single node, writing BENCH_cluster.json
+//	-fleet                     in-process advise-surface scenario: >=1000
+//	                           randomized surface-vs-scan equivalence trials
+//	                           (writer and replica), the advise per-op A/B,
+//	                           and POST /v1/fleet throughput, writing
+//	                           BENCH_fleet.json
 //
 // Load shape against a live target:
 //
@@ -90,6 +95,10 @@ type options struct {
 	clusterReplicas int
 	clusterCombos   int
 	clusterOut      string
+
+	fleet       bool
+	fleetTrials int
+	fleetOut    string
 }
 
 func main() {
@@ -118,9 +127,12 @@ func main() {
 	flag.IntVar(&opts.clusterReplicas, "cluster-replicas", 2, "replica count for -cluster")
 	flag.IntVar(&opts.clusterCombos, "cluster-combos", 3, "combos in the -cluster writer")
 	flag.StringVar(&opts.clusterOut, "cluster-out", "BENCH_cluster.json", "cluster report output path")
+	flag.BoolVar(&opts.fleet, "fleet", false, "in-process fleet scenario: surface/scan advise equivalence trials, surface-vs-scan per-op A/B, and POST /v1/fleet throughput")
+	flag.IntVar(&opts.fleetTrials, "fleet-trials", 1000, "randomized advise equivalence trials for -fleet (min 1000)")
+	flag.StringVar(&opts.fleetOut, "fleet-out", "BENCH_fleet.json", "fleet report output path")
 	flag.Parse()
 
-	if opts.target == "" && !opts.direct && opts.gobench == "" && !opts.traceOverhead && !opts.cluster {
+	if opts.target == "" && !opts.direct && opts.gobench == "" && !opts.traceOverhead && !opts.cluster && !opts.fleet {
 		fmt.Fprintln(os.Stderr, "draftsbench: nothing to do; pass -target, -direct, and/or -gobench (see -h)")
 		os.Exit(2)
 	}
@@ -161,6 +173,11 @@ func main() {
 	}
 	if opts.cluster {
 		if err := runCluster(opts); err != nil {
+			fatal(err)
+		}
+	}
+	if opts.fleet {
+		if err := runFleetBench(opts); err != nil {
 			fatal(err)
 		}
 	}

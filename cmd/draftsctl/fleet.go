@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/drafts-go/drafts/internal/service"
+)
+
+// runFleet renders POST /v1/fleet: the cheapest (zone, instance type)
+// combos anywhere in the catalog that carry the requested duration at
+// the requested probability. -all follows pagination cursors until the
+// result set is exhausted; otherwise one page of -count rows prints and
+// the next cursor, when any, is shown so the query can be resumed.
+func runFleet(cl *service.Client, args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	duration := fs.String("duration", "1h", "required instance duration (e.g. 12h)")
+	p := fs.Float64("p", 0.99, "durability probability")
+	zones := fs.String("zones", "", "comma-separated zone filters (exact or prefix*, e.g. us-east-1*)")
+	types := fs.String("types", "", "comma-separated instance-type filters (exact or prefix*, e.g. c4.*)")
+	count := fs.Int("count", 10, "results per page (max 100)")
+	cursor := fs.String("cursor", "", "resume pagination from a prior next_cursor")
+	all := fs.Bool("all", false, "follow pagination until the result set is exhausted")
+	raw := fs.Bool("json", false, "dump the raw response JSON (one object per page)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	req := service.FleetRequest{
+		Duration:    *duration,
+		Probability: *p,
+		Zones:       splitList(*zones),
+		Types:       splitList(*types),
+		Count:       *count,
+		Cursor:      *cursor,
+	}
+
+	var pages []service.FleetResponse
+	for {
+		resp, err := cl.Fleet(req)
+		if err != nil {
+			return err
+		}
+		pages = append(pages, resp)
+		if !*all || resp.NextCursor == "" {
+			break
+		}
+		req.Cursor = resp.NextCursor
+	}
+
+	if *raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		for _, pg := range pages {
+			if err := enc.Encode(pg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	first := pages[0]
+	fmt.Printf("# cheapest combos guaranteeing %s at p=%v (as of %s; %d compliant)\n\n",
+		*duration, first.Probability, first.AsOf.Format("2006-01-02T15:04:05Z07:00"), first.TotalCompliant)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "RANK\tZONE\tTYPE\tBID-USD/HR\tGUARANTEED")
+	rank := 1
+	for _, pg := range pages {
+		for _, q := range pg.Results {
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%.4f\t%.0fh\n",
+				rank, q.Zone, q.InstanceType, q.Bid, q.DurationSeconds/3600)
+			rank++
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if last := pages[len(pages)-1]; last.NextCursor != "" {
+		fmt.Printf("\nnext page: draftsctl fleet -duration %s -p %v -cursor %s\n",
+			*duration, first.Probability, last.NextCursor)
+	}
+	return nil
+}
+
+// splitList parses a comma-separated flag into its non-empty elements.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -3,14 +3,17 @@
 //	draftsctl -server http://localhost:8732 combos
 //	draftsctl table -zone us-east-1b -type c4.large -p 0.99
 //	draftsctl bid -zone us-east-1b -type c4.large -p 0.99 -duration 2h
+//	draftsctl fleet -duration 12h -p 0.99 -types 'c4.*' -count 5
 //	draftsctl flight
 //	draftsctl cluster -peers http://w:8732,http://r1:8733
 //
 // "table" prints the bid-vs-duration relationship (the data behind
 // Figure 4); "bid" answers the user question directly: the smallest bid
-// that guarantees the duration; "flight" dumps the daemon's flight
-// recorder — retained error/shed/slow traces first, then the most recent
-// completed ones; "cluster" renders each node's replication status.
+// that guarantees the duration; "fleet" ranks the whole catalog — the
+// cheapest (zone, type) combos that carry a duration at a probability;
+// "flight" dumps the daemon's flight recorder — retained error/shed/slow
+// traces first, then the most recent completed ones; "cluster" renders
+// each node's replication status.
 package main
 
 import (
@@ -57,6 +60,8 @@ func main() {
 		err = runTable(cl, flag.Args()[1:])
 	case "bid":
 		err = runBid(cl, flag.Args()[1:])
+	case "fleet":
+		err = runFleet(cl, flag.Args()[1:])
 	case "flight":
 		err = runFlight(cl, flag.Args()[1:])
 	case "cluster":
@@ -71,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: draftsctl [-server URL] combos | table | bid | flight | cluster [options]")
+	fmt.Fprintln(os.Stderr, "usage: draftsctl [-server URL] combos | table | bid | fleet | flight | cluster [options]")
 	os.Exit(2)
 }
 

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -88,6 +89,71 @@ func TestCrossNodeByteEquality(t *testing.T) {
 				t.Fatalf("%s: 304 carried a body", path)
 			}
 		}
+	}
+}
+
+// TestReplicaSurfaceByteIdentity is the advise-surface half of the
+// cross-node contract: after a real ship stream, the replica's epoch
+// holds byte-for-byte the writer's encoded surfaces, and both advise
+// (fast path) and fleet answers — successes and refusals — are
+// byte-identical across nodes, even though the replica has no histories
+// and no predictors.
+func TestReplicaSurfaceByteIdentity(t *testing.T) {
+	writer, sh := newRealWriter(t)
+	ts := httptest.NewServer(sh.ShipHandler())
+	defer ts.Close()
+	replica, rc := newTestReplica(t, ts.URL, ts.Client())
+	if _, err := rc.step(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+
+	wep, rep := writer.CurrentEpoch(), replica.CurrentEpoch()
+	if wep.NumSurfaces() == 0 {
+		t.Fatal("writer epoch carries no surfaces")
+	}
+	if rep.NumSurfaces() != wep.NumSurfaces() {
+		t.Fatalf("replica has %d surfaces, writer %d", rep.NumSurfaces(), wep.NumSurfaces())
+	}
+	for _, k := range wep.SurfaceKeys() {
+		wb, _ := wep.Surface(k)
+		rb, ok := rep.Surface(k)
+		if !ok || string(rb) != string(wb) {
+			t.Fatalf("surface %+v not byte-identical across the ship stream", k)
+		}
+	}
+
+	wh, rh := writer.Handler(), replica.Handler()
+	adviseTargets := []string{
+		"/v1/advise?zone=us-east-1b&type=c4.large&probability=0.99&duration=30m",
+		"/v1/advise?zone=us-west-1a&type=c3.2xlarge&probability=0.95&duration=1h",
+		"/v1/advise?zone=us-east-1c&type=c4.large&probability=0.99&duration=2000h", // refusal
+	}
+	for _, target := range adviseTargets {
+		wrec := httptest.NewRecorder()
+		wh.ServeHTTP(wrec, httptest.NewRequest(http.MethodGet, target, nil))
+		rrec := httptest.NewRecorder()
+		rh.ServeHTTP(rrec, httptest.NewRequest(http.MethodGet, target, nil))
+		if wrec.Code != rrec.Code || wrec.Body.String() != rrec.Body.String() {
+			t.Fatalf("%s:\nwriter:  %d %s\nreplica: %d %s",
+				target, wrec.Code, wrec.Body.String(), rrec.Code, rrec.Body.String())
+		}
+	}
+
+	fleetBody := `{"duration":"30m","probability":0.99,"count":100}`
+	post := func(h http.Handler) (int, string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/fleet", strings.NewReader(fleetBody))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+	wCode, wBody := post(wh)
+	rCode, rBody := post(rh)
+	if wCode != http.StatusOK {
+		t.Fatalf("writer fleet: %d %s", wCode, wBody)
+	}
+	if wCode != rCode || wBody != rBody {
+		t.Fatalf("fleet answers differ:\nwriter:  %d %s\nreplica: %d %s", wCode, wBody, rCode, rBody)
 	}
 }
 

@@ -49,17 +49,25 @@ import (
 //	payload:   one tagged message, first byte is the frame type
 //
 // A stream is: one meta frame, the changed content frames (combos,
-// tables, removals) in sorted key order, and one commit frame carrying
-// the epoch content checksum. Full snapshots are the degenerate delta
-// against nothing.
+// tables, removals, advise surfaces, surface removals) in sorted key
+// order, and one commit frame carrying the epoch content checksum. Full
+// snapshots are the degenerate delta against nothing.
+//
+// Ship version history: v1 shipped tables only; v2 added the advise
+// surface frames and folded surfaces into the epoch checksum. Mixed
+// versions fail closed — a v1 peer rejects the version byte, and a v2
+// receiver rejects v1 streams — because a v1-assembled epoch could not
+// verify a v2 checksum anyway.
 const (
-	shipVersion = 1
+	shipVersion = 2
 
-	frameMeta   = 1 // version, seq, base seq, asOf, table count, etag
-	frameCombos = 2 // the pre-encoded /v1/combos body
-	frameTable  = 3 // one table key + pre-encoded body
-	frameRemove = 4 // one table key present in base but not in the epoch
-	frameCommit = 5 // content checksum + table count, ends the stream
+	frameMeta          = 1 // version, seq, base seq, asOf, table count, etag
+	frameCombos        = 2 // the pre-encoded /v1/combos body
+	frameTable         = 3 // one table key + pre-encoded body
+	frameRemove        = 4 // one table key present in base but not in the epoch
+	frameCommit        = 5 // content checksum + table count, ends the stream
+	frameSurface       = 6 // one surface key + canonical surface encoding
+	frameSurfaceRemove = 7 // one surface key present in base but not in the epoch
 
 	frameHeader = 8
 	// maxFramePayload bounds a declared payload length so a corrupted
@@ -168,41 +176,45 @@ func decodeKey(p []byte) (service.BlobKey, []byte, error) {
 	return service.BlobKey{Zone: parts[0], Type: parts[1], Prob: parts[2]}, p, nil
 }
 
-func encodeTable(k service.BlobKey, body []byte) []byte {
+// encodeTable renders a keyed-body frame; tag is frameTable for table
+// blobs and frameSurface for canonical surface encodings (same layout).
+func encodeTable(tag byte, k service.BlobKey, body []byte) []byte {
 	p := make([]byte, 0, 1+6+len(k.Zone)+len(k.Type)+len(k.Prob)+4+len(body))
-	p = append(p, frameTable)
+	p = append(p, tag)
 	p = appendKey(p, k)
 	p = binary.LittleEndian.AppendUint32(p, uint32(len(body)))
 	return append(p, body...)
 }
 
-func decodeTable(p []byte) (service.BlobKey, []byte, error) {
-	if len(p) < 1 || p[0] != frameTable {
-		return service.BlobKey{}, nil, fmt.Errorf("cluster: malformed table frame")
+func decodeTable(tag byte, p []byte) (service.BlobKey, []byte, error) {
+	if len(p) < 1 || p[0] != tag {
+		return service.BlobKey{}, nil, fmt.Errorf("cluster: malformed keyed-body frame (tag %d)", tag)
 	}
 	k, rest, err := decodeKey(p[1:])
 	if err != nil {
 		return service.BlobKey{}, nil, err
 	}
 	if len(rest) < 4 {
-		return service.BlobKey{}, nil, fmt.Errorf("cluster: truncated table body length")
+		return service.BlobKey{}, nil, fmt.Errorf("cluster: truncated frame body length")
 	}
 	n := int(binary.LittleEndian.Uint32(rest))
 	if len(rest) != 4+n {
-		return service.BlobKey{}, nil, fmt.Errorf("cluster: table body length mismatch")
+		return service.BlobKey{}, nil, fmt.Errorf("cluster: frame body length mismatch")
 	}
 	return k, rest[4:], nil
 }
 
-func encodeRemove(k service.BlobKey) []byte {
+// encodeRemove renders a key-only removal frame; tag is frameRemove for
+// tables and frameSurfaceRemove for surfaces.
+func encodeRemove(tag byte, k service.BlobKey) []byte {
 	p := make([]byte, 0, 1+6+len(k.Zone)+len(k.Type)+len(k.Prob))
-	p = append(p, frameRemove)
+	p = append(p, tag)
 	return appendKey(p, k)
 }
 
-func decodeRemove(p []byte) (service.BlobKey, error) {
-	if len(p) < 1 || p[0] != frameRemove {
-		return service.BlobKey{}, fmt.Errorf("cluster: malformed remove frame")
+func decodeRemove(tag byte, p []byte) (service.BlobKey, error) {
+	if len(p) < 1 || p[0] != tag {
+		return service.BlobKey{}, fmt.Errorf("cluster: malformed remove frame (tag %d)", tag)
 	}
 	k, rest, err := decodeKey(p[1:])
 	if err != nil {
@@ -240,10 +252,11 @@ func decodeCommit(p []byte) (commitFrame, error) {
 // content hashes, enough to compute a delta stream against it without
 // holding the epoch's bodies alive.
 type epochDigest struct {
-	seq    uint64
-	etag   string
-	combos uint64
-	blobs  map[service.BlobKey]uint64
+	seq      uint64
+	etag     string
+	combos   uint64
+	blobs    map[service.BlobKey]uint64
+	surfaces map[service.BlobKey]uint64
 }
 
 func hash64(b []byte) uint64 {
@@ -262,6 +275,13 @@ func digestOf(ep *service.Epoch) *epochDigest {
 	for _, k := range ep.Keys() {
 		body, _ := ep.Blob(k)
 		d.blobs[k] = hash64(body)
+	}
+	if n := ep.NumSurfaces(); n > 0 {
+		d.surfaces = make(map[service.BlobKey]uint64, n)
+		for _, k := range ep.SurfaceKeys() {
+			body, _ := ep.Surface(k)
+			d.surfaces[k] = hash64(body)
+		}
 	}
 	return d
 }
@@ -294,28 +314,48 @@ func encodeStream(ep *service.Epoch, base *epochDigest) []byte {
 				continue // unchanged since base; the replica already has it
 			}
 		}
-		out = appendFrame(out, encodeTable(k, body))
+		out = appendFrame(out, encodeTable(frameTable, k, body))
 	}
 	if base != nil {
-		removed := make([]service.BlobKey, 0)
-		have := make(map[service.BlobKey]bool, len(keys))
-		for _, k := range keys {
-			have[k] = true
+		for _, k := range removedKeys(base.blobs, keys) {
+			out = appendFrame(out, encodeRemove(frameRemove, k))
 		}
-		for k := range base.blobs {
-			if !have[k] {
-				removed = append(removed, k)
+	}
+	surfKeys := ep.SurfaceKeys() // sorted
+	for _, k := range surfKeys {
+		body, _ := ep.Surface(k)
+		if base != nil {
+			if h, ok := base.surfaces[k]; ok && h == hash64(body) {
+				continue
 			}
 		}
-		sortKeys(removed)
-		for _, k := range removed {
-			out = appendFrame(out, encodeRemove(k))
+		out = appendFrame(out, encodeTable(frameSurface, k, body))
+	}
+	if base != nil {
+		for _, k := range removedKeys(base.surfaces, surfKeys) {
+			out = appendFrame(out, encodeRemove(frameSurfaceRemove, k))
 		}
 	}
 	return appendFrame(out, encodeCommit(commitFrame{
 		checksum: ep.Checksum(),
 		count:    ep.NumTables(),
 	}))
+}
+
+// removedKeys returns base keys absent from the target's key set, sorted.
+func removedKeys(base map[service.BlobKey]uint64, targetKeys []service.BlobKey) []service.BlobKey {
+	have := make(map[service.BlobKey]bool, len(targetKeys))
+	for _, k := range targetKeys {
+		have[k] = true
+	}
+	removed := make([]service.BlobKey, 0)
+	for k := range base {
+		if !have[k] {
+			removed = append(removed, k)
+		}
+	}
+	sortKeys(removed)
+	return removed
 }
 
 // sortKeys orders blob keys the same way Epoch.Keys does.

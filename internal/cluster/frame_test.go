@@ -42,7 +42,7 @@ func TestFrameRoundTrip(t *testing.T) {
 
 	key := service.BlobKey{Zone: "us-east-1a", Type: "c4.large", Prob: "0.99"}
 	body := []byte(`{"bids":[1,2,3]}`)
-	k2, b2, err := decodeTable(encodeTable(key, body))
+	k2, b2, err := decodeTable(frameTable, encodeTable(frameTable, key, body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,12 +50,28 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Fatalf("table round trip: %+v %q", k2, b2)
 	}
 
-	k3, err := decodeRemove(encodeRemove(key))
+	k3, err := decodeRemove(frameRemove, encodeRemove(frameRemove, key))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if k3 != key {
 		t.Fatalf("remove round trip: %+v", k3)
+	}
+
+	ks, bs, err := decodeTable(frameSurface, encodeTable(frameSurface, key, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks != key || !bytes.Equal(bs, body) {
+		t.Fatalf("surface round trip: %+v %q", ks, bs)
+	}
+
+	kr, err := decodeRemove(frameSurfaceRemove, encodeRemove(frameSurfaceRemove, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr != key {
+		t.Fatalf("surface remove round trip: %+v", kr)
 	}
 
 	commit := commitFrame{checksum: 0xdeadbeefcafe, count: 3}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -239,6 +240,72 @@ func TestRouterAdviseGoesToWriter(t *testing.T) {
 		if code != http.StatusOK || served != "the-writer" {
 			t.Fatalf("advise served by %q (status %d), want the writer", served, code)
 		}
+	}
+}
+
+// TestRouterForwardsPostBody pins the buffered-body contract: a POST
+// (/v1/fleet) crosses the forwarding hop with its body intact, and when
+// the first candidate sheds, the retry replays the identical bytes from
+// a fresh reader rather than a drained stream.
+func TestRouterForwardsPostBody(t *testing.T) {
+	const reqBody = `{"duration":"12h","probability":0.99,"count":5}`
+	newEchoNode := func(role string) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+		var shed, got atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/cluster/status" {
+				_ = json.NewEncoder(w).Encode(&Status{Role: role, Epoch: 3, ETag: `"e"`})
+				return
+			}
+			if shed.Load() != 0 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			body, _ := io.ReadAll(r.Body)
+			if string(body) != reqBody {
+				http.Error(w, fmt.Sprintf("body %q did not survive the hop", body), http.StatusBadRequest)
+				return
+			}
+			got.Add(1)
+			fmt.Fprint(w, "echoed")
+		}))
+		return ts, &shed, &got
+	}
+	aTS, aShed, aGot := newEchoNode("writer")
+	defer aTS.Close()
+	bTS, _, bGot := newEchoNode("replica")
+	defer bTS.Close()
+	m, err := NewMembership(MembershipConfig{Peers: []string{aTS.URL, bTS.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Poll(t.Context())
+	ts := newTestRouter(t, m)
+
+	post := func() (int, string) {
+		resp, err := http.Post(ts.URL+"/v1/fleet", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := post()
+	if code != http.StatusOK || body != "echoed" {
+		t.Fatalf("POST through router: %d %q", code, body)
+	}
+
+	// Force a failover: whichever node owns the key sheds; the sibling must
+	// still receive the complete body on the retried attempt.
+	aShed.Store(1)
+	aBefore, bBefore := aGot.Load(), bGot.Load()
+	code, body = post()
+	if code != http.StatusOK || body != "echoed" {
+		t.Fatalf("POST with shedding owner: %d %q", code, body)
+	}
+	if aGot.Load() == aBefore && bGot.Load() == bBefore {
+		t.Fatal("no node verified the replayed body")
 	}
 }
 

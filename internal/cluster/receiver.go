@@ -441,13 +441,15 @@ func streamCommitted(b []byte) (bool, error) {
 // ETag, the table count, and the content checksum.
 func (rc *Receiver) assemble(st *staging) (*service.Epoch, error) {
 	var (
-		meta      metaFrame
-		gotMeta   bool
-		combos    []byte
-		commit    commitFrame
-		gotCommit bool
-		set       = map[service.BlobKey][]byte{}
-		removed   []service.BlobKey
+		meta        metaFrame
+		gotMeta     bool
+		combos      []byte
+		commit      commitFrame
+		gotCommit   bool
+		set         = map[service.BlobKey][]byte{}
+		removed     []service.BlobKey
+		surfSet     = map[service.BlobKey][]byte{}
+		surfRemoved []service.BlobKey
 	)
 	for off := 0; off < len(st.buf); {
 		p, n, err := nextFrame(st.buf[off:])
@@ -469,17 +471,29 @@ func (rc *Receiver) assemble(st *staging) (*service.Epoch, error) {
 		case p[0] == frameCombos:
 			combos = append([]byte(nil), p[1:]...)
 		case p[0] == frameTable:
-			k, body, err := decodeTable(p)
+			k, body, err := decodeTable(frameTable, p)
 			if err != nil {
 				return nil, err
 			}
 			set[k] = append([]byte(nil), body...)
 		case p[0] == frameRemove:
-			k, err := decodeRemove(p)
+			k, err := decodeRemove(frameRemove, p)
 			if err != nil {
 				return nil, err
 			}
 			removed = append(removed, k)
+		case p[0] == frameSurface:
+			k, body, err := decodeTable(frameSurface, p)
+			if err != nil {
+				return nil, err
+			}
+			surfSet[k] = append([]byte(nil), body...)
+		case p[0] == frameSurfaceRemove:
+			k, err := decodeRemove(frameSurfaceRemove, p)
+			if err != nil {
+				return nil, err
+			}
+			surfRemoved = append(surfRemoved, k)
 		case p[0] == frameCommit:
 			commit, err = decodeCommit(p)
 			if err != nil {
@@ -499,6 +513,7 @@ func (rc *Receiver) assemble(st *staging) (*service.Epoch, error) {
 	}
 
 	blobs := set
+	surfaces := surfSet
 	if meta.base != 0 {
 		prev := rc.cfg.Server.CurrentEpoch()
 		if prev == nil || prev.Seq() != meta.base {
@@ -516,11 +531,24 @@ func (rc *Receiver) assemble(st *staging) (*service.Epoch, error) {
 		for _, k := range removed {
 			delete(blobs, k)
 		}
+		// Surfaces merge exactly like tables: inherit the base's, overlay
+		// the shipped changes, drop the removals.
+		surfaces = make(map[service.BlobKey][]byte, prev.NumSurfaces()+len(surfSet))
+		for _, k := range prev.SurfaceKeys() {
+			b, _ := prev.Surface(k)
+			surfaces[k] = b
+		}
+		for k, b := range surfSet {
+			surfaces[k] = b
+		}
+		for _, k := range surfRemoved {
+			delete(surfaces, k)
+		}
 		if combos == nil {
 			combos = prev.Combos()
 		}
 	}
-	ep, err := service.NewEpoch(meta.seq, meta.asOf, combos, blobs)
+	ep, err := service.NewEpochFull(meta.seq, meta.asOf, combos, blobs, surfaces)
 	if err != nil {
 		return nil, err
 	}

@@ -56,6 +56,16 @@ func assertEpochEqual(t *testing.T, got, want *service.Epoch) {
 			t.Fatalf("blob %+v differs", k)
 		}
 	}
+	if got.NumSurfaces() != want.NumSurfaces() {
+		t.Fatalf("surfaces: %d != %d", got.NumSurfaces(), want.NumSurfaces())
+	}
+	for _, k := range want.SurfaceKeys() {
+		wb, _ := want.Surface(k)
+		gb, ok := got.Surface(k)
+		if !ok || string(gb) != string(wb) {
+			t.Fatalf("surface %+v differs", k)
+		}
+	}
 }
 
 // shipProxy fronts a Shipper's handler with failure injection: truncate

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"log/slog"
@@ -105,20 +106,42 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rt.forwardTo(w, r, ring.Candidates(key, ring.Len()))
 }
 
+// maxForwardBody bounds how much request body the router buffers for
+// replay across failover attempts (POST /v1/fleet bodies are far
+// smaller; the cap matches the server's own read limit).
+const maxForwardBody = 1 << 20
+
 // forwardTo tries each candidate in ring order, serving locally when the
 // candidate is this node, and failing over before the first response
-// byte is written.
+// byte is written. A request body is buffered once up front so every
+// attempt — and a local serve — replays identical bytes.
 func (rt *Router) forwardTo(w http.ResponseWriter, r *http.Request, candidates []string) {
+	var body []byte
+	if r.Body != nil && r.Body != http.NoBody {
+		b, err := io.ReadAll(io.LimitReader(r.Body, maxForwardBody+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid_argument", "reading request body: %v", err)
+			return
+		}
+		if len(b) > maxForwardBody {
+			httpError(w, http.StatusRequestEntityTooLarge, "invalid_argument", "request body exceeds %d bytes", maxForwardBody)
+			return
+		}
+		body = b
+	}
 	for i, addr := range candidates {
 		if i > 0 {
 			mRouterFailover.Load().Inc()
 		}
 		if rt.cfg.Self != "" && addr == rt.cfg.Self && rt.cfg.Local != nil {
 			mRouterLocal.Load().Inc()
+			if body != nil {
+				r.Body = io.NopCloser(bytes.NewReader(body))
+			}
 			rt.cfg.Local.ServeHTTP(w, r)
 			return
 		}
-		resp, err := rt.forwardOnce(r, addr)
+		resp, err := rt.forwardOnce(r, addr, body)
 		if err != nil {
 			rt.cfg.Logger.Debug("forward failed; trying next candidate",
 				"peer", addr, "err", err)
@@ -138,14 +161,20 @@ func (rt *Router) forwardTo(w http.ResponseWriter, r *http.Request, candidates [
 	httpError(w, http.StatusBadGateway, "overloaded", "every ring candidate failed")
 }
 
-// forwardOnce proxies one request to addr, preserving path, query, and
-// headers (so If-None-Match revalidation and tracing survive the hop).
-func (rt *Router) forwardOnce(r *http.Request, addr string) (*http.Response, error) {
+// forwardOnce proxies one request to addr, preserving path, query,
+// headers (so If-None-Match revalidation and tracing survive the hop),
+// and the buffered body — a fresh reader per attempt, so failover never
+// replays a drained stream.
+func (rt *Router) forwardOnce(r *http.Request, addr string, body []byte) (*http.Response, error) {
 	target := addr + r.URL.Path
 	if r.URL.RawQuery != "" {
 		target += "?" + r.URL.RawQuery
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, nil)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, rd)
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,8 @@ var (
 	mCensoredEpisodes  atomic.Pointer[telemetry.Counter]
 	mAdviseCalls       atomic.Pointer[telemetry.Counter]
 	mAdviseEscalations atomic.Pointer[telemetry.Counter]
+	mSurfaceBuilds     atomic.Pointer[telemetry.Counter]
+	mSurfaceLookups    atomic.Pointer[telemetry.Counter]
 )
 
 // RegisterMetrics wires the predictor-level counters into r. Call once at
@@ -30,4 +32,8 @@ func RegisterMetrics(r *telemetry.Registry) {
 		"Advise quote requests answered."))
 	mAdviseEscalations.Store(r.Counter("drafts_predictor_advise_escalations_total",
 		"Advise searches that escalated past the published table span."))
+	mSurfaceBuilds.Store(r.Counter("drafts_predictor_surface_builds_total",
+		"Advise surfaces materialized at refresh."))
+	mSurfaceLookups.Store(r.Counter("drafts_predictor_surface_lookups_total",
+		"Advise quotes answered from a precomputed surface."))
 }

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/core"
+)
+
+// The advise fast path answers /v1/advise from the epoch's precomputed
+// surfaces: a query substring parse, one map lookup, an O(1) grid snap (or
+// an O(log n) refinement for off-grid durations), and a pooled-buffer
+// write — no predictor scan, no deadline, no allocation. Requests the fast
+// parse cannot serve (account mapping, escaped queries, probability levels
+// without a surface) fall back to the scan path, which preserves the
+// original semantics and bytes exactly; TestAdviseSurfaceScanEquivalence
+// holds the two paths byte-identical over randomized trials.
+
+// quoteBuf is the pooled response-assembly buffer for the advise fast
+// path. Quotes are ~150 bytes; after warm-up the pooled capacity sticks
+// and a cached advise performs zero heap allocations.
+type quoteBuf struct {
+	b []byte
+}
+
+var quoteBufPool = sync.Pool{New: func() any { return &quoteBuf{} }}
+
+// plainJSONSafe reports whether s encodes into a JSON string verbatim
+// under encoding/json's rules: printable ASCII with nothing to escape
+// (including the <, >, & that json.Encoder HTML-escapes). Anything else
+// falls back to the marshalling scan path so fast-path bytes stay
+// identical to it.
+//
+//drafts:nonalloc
+func plainJSONSafe(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest round-trip form, scientific notation outside [1e-6, 1e21), and
+// no "e-0X" zero-padded exponents.
+//
+//drafts:nonalloc
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs > 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// adviseFast serves /v1/advise from the installed surfaces when the
+// request is fast-parseable and a surface covers it, reporting whether it
+// handled the request. The response bytes — success quote, staleness
+// refusal, and cannot-guarantee refusal alike — are identical to what the
+// scan path would produce over the same epoch.
+//
+//drafts:nonalloc
+func (s *Server) adviseFast(w http.ResponseWriter, r *http.Request) bool {
+	et := s.blobs.Load()
+	if et == nil || len(et.surfaces) == 0 {
+		return false
+	}
+	q := r.URL.RawQuery
+	if !fastQuery(q) {
+		return false
+	}
+	if _, acct := rawQueryValue(q, "account"); acct {
+		return false
+	}
+	zone, _ := rawQueryValue(q, "zone")
+	typ, _ := rawQueryValue(q, "type")
+	durStr, _ := rawQueryValue(q, "duration")
+	if zone == "" || typ == "" || durStr == "" {
+		return false
+	}
+	if !plainJSONSafe(zone) || !plainJSONSafe(typ) {
+		return false
+	}
+	prob, hasProb := rawQueryValue(q, "probability")
+	if !hasProb {
+		prob = defaultProbKey
+	}
+	surf, ok := et.lookupSurface(zone, typ, prob)
+	if !ok {
+		return false
+	}
+	d, err := time.ParseDuration(durStr)
+	if err != nil || d <= 0 {
+		// Let the scan path render the invalid-duration error.
+		return false
+	}
+	if !s.checkStaleness(w, et.asOf) {
+		return true
+	}
+	tr := traceOf(w)
+	sp := tr.StartSpan("surface.lookup")
+	quote, ok := surf.Lookup(d)
+	sp.End()
+	if !ok {
+		s.writeAdviseRefusal(w, d, zone, typ, surf)
+		return true
+	}
+	wsp := tr.StartSpan("surface.write")
+	s.writeAdviseQuote(w, zone, typ, quote)
+	wsp.End()
+	return true
+}
+
+// writeAdviseQuote renders the QuoteJSON success body from a pooled
+// buffer, byte-identical to writeJSON(w, 200, QuoteJSON{...}) for the
+// plain-JSON-safe strings the fast path admits.
+//
+//drafts:nonalloc
+func (s *Server) writeAdviseQuote(w http.ResponseWriter, zone, typ string, q core.Quote) {
+	bb := quoteBufPool.Get().(*quoteBuf)
+	b := bb.b[:0]
+	b = append(b, `{"zone":"`...)
+	b = append(b, zone...)
+	b = append(b, `","instance_type":"`...)
+	b = append(b, typ...)
+	b = append(b, `","probability":`...)
+	b = appendJSONFloat(b, q.Probability)
+	b = append(b, `,"bid_usd_per_hour":`...)
+	b = appendJSONFloat(b, q.Bid)
+	b = append(b, `,"guaranteed_duration_seconds":`...)
+	b = appendJSONFloat(b, q.Duration.Seconds())
+	b = append(b, '}', '\n')
+	h := w.Header()
+	h["Content-Type"] = jsonCTHeader
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+	bb.b = b
+	quoteBufPool.Put(bb)
+}
+
+// writeAdviseRefusal renders the cannot-guarantee refusal for a surface
+// miss. Kept off the annotated fast path: refusals are cold, and the
+// variadic error rendering may allocate.
+func (s *Server) writeAdviseRefusal(w http.ResponseWriter, d time.Duration, zone, typ string, surf *core.AdviseSurface) {
+	writeErr(w, http.StatusConflict, codeNotFound, "cannot guarantee %v on %s: %v",
+		d, surfaceComboString(zone, typ), surf.CannotGuarantee(d))
+}

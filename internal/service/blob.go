@@ -61,6 +61,13 @@ type encodedTables struct {
 	tables map[blobKey][]byte
 	combos []byte // pre-encoded /v1/combos response body (no trailing newline)
 	bytes  int    // total pre-encoded payload bytes, for the gauge
+
+	// surfaces holds the precomputed advise surfaces (surface.go), nil on
+	// epochs built without predictors (legacy NewEpoch wire rebuilds);
+	// fleet indexes them per probability spelling for /v1/fleet. Advise
+	// requests on a surface-less epoch fall back to the scan path.
+	surfaces map[blobKey]*surfaceEntry
+	fleet    map[string][]fleetEntry
 }
 
 // probKey formats a probability level the way the service addresses blobs:
@@ -82,8 +89,11 @@ func epochETag(asOf time.Time, n int) string {
 	return `"` + strconv.FormatUint(h.Sum64(), 16) + `"`
 }
 
-// encodeTables pre-encodes every table and the combo listing for one epoch.
-func encodeTables(tables map[tableKey]core.BidTable, asOf time.Time) (*encodedTables, error) {
+// encodeTables pre-encodes every table, the combo listing, and the
+// advise surfaces for one epoch. Prebuilt surfaces may be passed in (the
+// refresh path builds them before stamping asOf, so surface construction
+// time doesn't age the epoch); nil surfaces are derived from preds here.
+func encodeTables(tables map[tableKey]core.BidTable, preds map[tableKey]*core.Predictor, surfaces map[blobKey]*surfaceEntry, asOf time.Time) (*encodedTables, error) {
 	et := &encodedTables{
 		asOf:   asOf,
 		etag:   epochETag(asOf, len(tables)),
@@ -120,6 +130,10 @@ func encodeTables(tables map[tableKey]core.BidTable, asOf time.Time) (*encodedTa
 	}
 	et.combos = combos
 	et.bytes += len(combos)
+	if surfaces == nil {
+		surfaces = buildSurfaces(tables, preds)
+	}
+	et.attachSurfaces(surfaces)
 	return et, nil
 }
 
@@ -127,17 +141,17 @@ func encodeTables(tables map[tableKey]core.BidTable, asOf time.Time) (*encodedTa
 // The caller must install the matching tables map under s.mu around the
 // same time; an encoding failure publishes a nil store, which sends every
 // read to the marshal-per-request fallback rather than serving stale bytes.
-func (s *Server) installBlobs(tables map[tableKey]core.BidTable, asOf time.Time) {
-	s.installBlobsTraced(tables, asOf, nil)
+func (s *Server) installBlobs(tables map[tableKey]core.BidTable, preds map[tableKey]*core.Predictor, asOf time.Time) {
+	s.installBlobsTraced(tables, preds, nil, asOf, nil)
 }
 
 // installBlobsTraced is installBlobs with the refresh cycle's trace: the
 // pre-encoding pass gets its own blob.encode span. Snapshot restores pass
-// a nil trace.
-func (s *Server) installBlobsTraced(tables map[tableKey]core.BidTable, asOf time.Time, tr *trace.Trace) {
+// a nil trace (and nil surfaces, derived from preds).
+func (s *Server) installBlobsTraced(tables map[tableKey]core.BidTable, preds map[tableKey]*core.Predictor, surfaces map[blobKey]*surfaceEntry, asOf time.Time, tr *trace.Trace) {
 	began := time.Now()
 	sp := tr.StartSpan("blob.encode")
-	et, err := encodeTables(tables, asOf)
+	et, err := encodeTables(tables, preds, surfaces, asOf)
 	sp.EndErr(err)
 	if err != nil {
 		s.logger.Error("encoding blob store failed; serving via marshal fallback", "err", err)
@@ -434,16 +448,18 @@ func (s *Server) handleCombosMarshal(w http.ResponseWriter, _ *http.Request) {
 
 // MarshalHandler returns the REST API with the pre-encoded fast path
 // disabled: /v1/predictions and /v1/combos marshal JSON from the installed
-// tables on every request, exactly as the service behaved before the blob
-// store existed. It exists so draftsbench -direct and the Go benchmarks can
-// measure the serving fast path against the historical baseline on the same
-// tables; production traffic uses Handler.
+// tables on every request, and /v1/advise always runs the bid-escalation
+// scan, exactly as the service behaved before the blob store and the
+// advise surfaces existed. It exists so draftsbench and the Go benchmarks
+// can measure the serving fast paths against the historical baseline on
+// the same tables (and so the equivalence tests can hold the surface and
+// scan paths byte-identical); production traffic uses Handler.
 func (s *Server) MarshalHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/combos", s.handleCombosMarshal)
 	mux.HandleFunc("GET /v1/predictions", s.handlePredictionsMarshal)
-	mux.HandleFunc("GET /v1/advise", s.handleAdvise)
+	mux.HandleFunc("GET /v1/advise", s.handleAdviseScan)
 	return s.wrap(mux)
 }
 

@@ -70,7 +70,7 @@ func TestChaosRefreshOutageServesStale(t *testing.T) {
 	srv.asOf = agedAsOf
 	tables := srv.tables
 	srv.mu.Unlock()
-	srv.installBlobs(tables, agedAsOf)
+	srv.installBlobs(tables, nil, agedAsOf)
 
 	rec = chaosGet(t, h, path)
 	if rec.Code != http.StatusOK {
@@ -98,7 +98,7 @@ func TestChaosRefreshOutageServesStale(t *testing.T) {
 	srv.mu.Lock()
 	srv.asOf = ancient
 	srv.mu.Unlock()
-	srv.installBlobs(tables, ancient)
+	srv.installBlobs(tables, nil, ancient)
 	rec = chaosGet(t, h, path)
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("beyond-max-staleness GET = %d, want 503", rec.Code)

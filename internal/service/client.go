@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -189,7 +190,15 @@ func (c *Client) bases(key string) []string {
 
 // getKeyed is get with read placement: key (a combo, normally) selects
 // which node each attempt targets via the client-side ring.
-func (c *Client) getKeyed(key, path string, query url.Values, out any) (err error) {
+func (c *Client) getKeyed(key, path string, query url.Values, out any) error {
+	return c.doKeyed(http.MethodGet, key, path, query, nil, out)
+}
+
+// doKeyed is the request engine behind every typed call: method + body
+// generalize getKeyed so POST endpoints (/v1/fleet) share the identical
+// retry/backoff/placement/tracing machinery. A non-nil body is replayed
+// from a fresh reader on every attempt.
+func (c *Client) doKeyed(method, key, path string, query url.Values, body []byte, out any) (err error) {
 	bases := c.bases(key)
 	targets := make([]string, len(bases))
 	for i, base := range bases {
@@ -218,7 +227,7 @@ func (c *Client) getKeyed(key, path string, query url.Values, out any) (err erro
 	var rng *rand.Rand
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		lastErr = c.getOnce(targets[attempt%len(targets)], tr, out)
+		lastErr = c.doOnce(method, targets[attempt%len(targets)], tr, body, out)
 		if lastErr == nil || attempt >= c.Retries || !retryable(lastErr) {
 			return lastErr
 		}
@@ -238,10 +247,17 @@ func (c *Client) getKeyed(key, path string, query url.Values, out any) (err erro
 	}
 }
 
-func (c *Client) getOnce(target string, tr *trace.Trace, out any) error {
-	req, err := http.NewRequest(http.MethodGet, target, nil)
+func (c *Client) doOnce(method, target string, tr *trace.Trace, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, target, rd)
 	if err != nil {
 		return fmt.Errorf("service client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	// Retries reuse the logical request's trace: every attempt carries the
 	// same trace ID, so the server-side record of a retried request is one
@@ -375,6 +391,25 @@ func (c *Client) Advise(combo spot.Combo, probability float64, d time.Duration) 
 		Duration:    time.Duration(qj.DurationSeconds * float64(time.Second)),
 		Probability: qj.Probability,
 	}, nil
+}
+
+// Fleet asks the catalog-wide advisor (POST /v1/fleet) for the cheapest
+// compliant combos carrying the request's duration at its probability.
+// Any surface-bearing node answers identically for the same epoch, so
+// with Replicas configured the call is placed on the ring under the
+// stable key "/v1/fleet" (retries walk the ring like every keyed read).
+// Page through deep result sets by feeding each response's NextCursor
+// back as the next request's Cursor.
+func (c *Client) Fleet(req FleetRequest) (FleetResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return FleetResponse{}, fmt.Errorf("service client: encoding fleet request: %w", err)
+	}
+	var resp FleetResponse
+	if err := c.doKeyed(http.MethodPost, "/v1/fleet", "/v1/fleet", nil, body, &resp); err != nil {
+		return FleetResponse{}, err
+	}
+	return resp, nil
 }
 
 // Flight fetches the server's flight recorder: the most recent completed

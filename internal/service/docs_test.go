@@ -1,0 +1,54 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocsCoverRegisteredRoutes is the docs-drift gate: every /v1/*
+// route registered anywhere in the codebase must appear in API.md. The
+// route list is scraped from the source that registers it, so adding an
+// endpoint without documenting it fails here (and in the CI grep that
+// mirrors this test).
+func TestAPIDocsCoverRegisteredRoutes(t *testing.T) {
+	sources := []string{
+		"service.go",
+		filepath.Join("..", "..", "cmd", "draftsd", "main.go"),
+		filepath.Join("..", "..", "cmd", "draftsd", "cluster.go"),
+	}
+	// Matches mux.Handle / mux.HandleFunc route literals with an optional
+	// method prefix: "GET /v1/advise", "POST /v1/fleet", "/v1/".
+	routeRe := regexp.MustCompile(`mux\.Handle(?:Func)?\("(?:(?:GET|POST|PUT|DELETE|HEAD) )?(/v1/[^"]*)"`)
+	routes := map[string]bool{}
+	for _, src := range sources {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatalf("reading %s: %v", src, err)
+		}
+		for _, m := range routeRe.FindAllStringSubmatch(string(data), -1) {
+			route := m[1]
+			if route == "/v1/" { // the router's catch-all forward, not an endpoint
+				continue
+			}
+			routes[route] = true
+		}
+	}
+	if len(routes) < 5 {
+		t.Fatalf("route scrape found only %d routes (%v); the regex has drifted from the registration style",
+			len(routes), routes)
+	}
+
+	apiDoc, err := os.ReadFile(filepath.Join("..", "..", "API.md"))
+	if err != nil {
+		t.Fatalf("reading API.md: %v", err)
+	}
+	doc := string(apiDoc)
+	for route := range routes {
+		if !strings.Contains(doc, route) {
+			t.Errorf("registered route %s is not documented in API.md", route)
+		}
+	}
+}

@@ -83,14 +83,41 @@ func (e *Epoch) Blob(k BlobKey) ([]byte, bool) {
 	return b, ok
 }
 
+// NumSurfaces is the advise-surface count (zero on epochs built without
+// predictors, e.g. legacy NewEpoch rebuilds).
+func (e *Epoch) NumSurfaces() int { return len(e.et.surfaces) }
+
+// SurfaceKeys returns every surface's key in sorted order — like Keys, the
+// deterministic iteration order the wire protocol and checksum rely on.
+func (e *Epoch) SurfaceKeys() []BlobKey {
+	keys := make([]BlobKey, 0, len(e.et.surfaces))
+	for k := range e.et.surfaces {
+		keys = append(keys, BlobKey{Zone: k.zone, Type: k.typ, Prob: k.prob})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	return keys
+}
+
+// Surface returns the canonical wire encoding of one advise surface — the
+// exact bytes the epoch checksum covers and the shipper puts on the wire.
+func (e *Epoch) Surface(k BlobKey) ([]byte, bool) {
+	se, ok := e.et.surfaces[blobKey{zone: k.Zone, typ: k.Type, prob: k.Prob}]
+	if !ok {
+		return nil, false
+	}
+	return se.enc, true
+}
+
 // Combos returns the pre-encoded /v1/combos body.
 func (e *Epoch) Combos() []byte { return e.et.combos }
 
 // Checksum is a content hash over everything that determines the bytes a
-// node serves: asOf, table count, every key and body in sorted order, and
-// the combo listing. Two nodes at the same checksum answer every cached
-// read byte-identically. The sequence number is deliberately excluded —
-// it is writer-local bookkeeping, not content.
+// node serves: asOf, table count, every key and body in sorted order, the
+// combo listing, and every advise surface's canonical encoding in sorted
+// key order. Two nodes at the same checksum answer every cached read —
+// tables, combos, advise, and fleet alike — byte-identically. The sequence
+// number is deliberately excluded — it is writer-local bookkeeping, not
+// content.
 func (e *Epoch) Checksum() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -111,16 +138,42 @@ func (e *Epoch) Checksum() uint64 {
 		_, _ = h.Write(b)
 	}
 	_, _ = h.Write(e.et.combos)
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(e.et.surfaces)))
+	_, _ = h.Write(buf[:])
+	for _, k := range e.SurfaceKeys() {
+		_, _ = h.Write([]byte(k.Zone))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(k.Type))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(k.Prob))
+		_, _ = h.Write([]byte{0})
+		b, _ := e.Surface(k)
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(b)))
+		_, _ = h.Write(buf[:])
+		_, _ = h.Write(b)
+	}
 	return h.Sum64()
 }
 
-// NewEpoch assembles an epoch from received parts. The ETag is recomputed
-// locally from (asOf, table count) — the same derivation the writer's
-// encodeTables uses — which is what guarantees cross-node ETag identity:
-// a replica cannot install an epoch whose ETag differs from what the
-// writer serves for the same content. The blobs map is aliased, not
-// copied; the caller must not mutate it afterwards.
+// NewEpoch assembles an epoch from received parts, without advise
+// surfaces — NewEpochFull is the surface-carrying variant the cluster
+// receiver uses. The ETag is recomputed locally from (asOf, table count) —
+// the same derivation the writer's encodeTables uses — which is what
+// guarantees cross-node ETag identity: a replica cannot install an epoch
+// whose ETag differs from what the writer serves for the same content.
+// The blobs map is aliased, not copied; the caller must not mutate it
+// afterwards.
 func NewEpoch(seq uint64, asOf time.Time, combos []byte, blobs map[BlobKey][]byte) (*Epoch, error) {
+	return NewEpochFull(seq, asOf, combos, blobs, nil)
+}
+
+// NewEpochFull assembles an epoch from received parts including the advise
+// surfaces, each given as its canonical wire encoding (the bytes Surface
+// returns on the sending side). Every payload is decoded and validated, so
+// the rebuilt epoch answers /v1/advise and /v1/fleet bit-identically to
+// the writer that encoded it — and hashes to the writer's Checksum, since
+// the canonical encodings are retained verbatim.
+func NewEpochFull(seq uint64, asOf time.Time, combos []byte, blobs map[BlobKey][]byte, surfaces map[BlobKey][]byte) (*Epoch, error) {
 	if seq == 0 {
 		return nil, fmt.Errorf("service: epoch sequence must be nonzero")
 	}
@@ -148,6 +201,20 @@ func NewEpoch(seq uint64, asOf time.Time, combos []byte, blobs map[BlobKey][]byt
 		}
 		et.tables[blobKey{zone: k.Zone, typ: k.Type, prob: k.Prob}] = body
 		et.bytes += len(body)
+	}
+	if len(surfaces) > 0 {
+		rebuilt := make(map[blobKey]*surfaceEntry, len(surfaces))
+		for k, enc := range surfaces {
+			if k.Zone == "" || k.Type == "" || k.Prob == "" {
+				return nil, fmt.Errorf("service: epoch surface key %+v has empty component", k)
+			}
+			surf, err := decodeSurface(enc)
+			if err != nil {
+				return nil, fmt.Errorf("service: epoch surface %s/%s/p=%s: %w", k.Zone, k.Type, k.Prob, err)
+			}
+			rebuilt[blobKey{zone: k.Zone, typ: k.Type, prob: k.Prob}] = &surfaceEntry{surf: surf, enc: enc}
+		}
+		et.attachSurfaces(rebuilt)
 	}
 	return &Epoch{et: et}, nil
 }

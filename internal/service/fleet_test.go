@@ -1,0 +1,302 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/drafts-go/drafts/internal/history"
+)
+
+func postFleet(t *testing.T, h http.Handler, body string) (int, FleetResponse, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/fleet", bytes.NewReader([]byte(body)))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp FleetResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decoding fleet response: %v (%s)", err, rec.Body.Bytes())
+		}
+	}
+	return rec.Code, resp, rec.Body.Bytes()
+}
+
+// TestFleetMatchesAdvise is the golden-by-construction ranking test: the
+// fleet response must equal per-combo /v1/advise answers collected
+// client-side, sorted by (bid, zone, type). If advise is right — and the
+// surface/scan equivalence test says it is — fleet is right exactly when
+// this holds.
+func TestFleetMatchesAdvise(t *testing.T) {
+	srv := testServer(t)
+	h := srv.Handler()
+
+	const dur = "1h"
+	type want struct {
+		zone, typ string
+		bid       float64
+	}
+	var expect []want
+	for _, c := range testCombos {
+		target := fmt.Sprintf("/v1/advise?zone=%s&type=%s&probability=0.99&duration=%s", c.Zone, c.Type, dur)
+		code, _, body := getBody(t, h, target)
+		if code != http.StatusOK {
+			continue // non-compliant combo: must be absent from fleet
+		}
+		var q QuoteJSON
+		if err := json.Unmarshal(body, &q); err != nil {
+			t.Fatal(err)
+		}
+		expect = append(expect, want{zone: string(c.Zone), typ: string(c.Type), bid: q.Bid})
+	}
+	if len(expect) == 0 {
+		t.Fatal("no combo can guarantee 1h; fixture is degenerate")
+	}
+	sort.Slice(expect, func(i, j int) bool {
+		if expect[i].bid != expect[j].bid {
+			return expect[i].bid < expect[j].bid
+		}
+		if expect[i].zone != expect[j].zone {
+			return expect[i].zone < expect[j].zone
+		}
+		return expect[i].typ < expect[j].typ
+	})
+
+	code, resp, body := postFleet(t, h, `{"duration":"1h","probability":0.99,"count":100}`)
+	if code != http.StatusOK {
+		t.Fatalf("fleet status %d: %s", code, body)
+	}
+	if resp.TotalCompliant != len(expect) {
+		t.Fatalf("total_compliant %d, want %d", resp.TotalCompliant, len(expect))
+	}
+	if len(resp.Results) != len(expect) {
+		t.Fatalf("%d results, want %d", len(resp.Results), len(expect))
+	}
+	for i, r := range resp.Results {
+		w := expect[i]
+		if r.Zone != w.zone || r.InstanceType != w.typ || r.Bid != w.bid {
+			t.Errorf("rank %d: got %s/%s @ %v, want %s/%s @ %v",
+				i, r.Zone, r.InstanceType, r.Bid, w.zone, w.typ, w.bid)
+		}
+	}
+	if resp.NextCursor != "" {
+		t.Errorf("full result set carried a next_cursor %q", resp.NextCursor)
+	}
+	if resp.Probability != 0.99 || resp.DurationSeconds != 3600 {
+		t.Errorf("echoed parameters: p=%v dur=%v", resp.Probability, resp.DurationSeconds)
+	}
+}
+
+// TestFleetPagination walks the result set one row at a time and asserts
+// the pages concatenate to exactly the one-shot ranking — no duplicates,
+// no gaps, stable order — and that every page reports the same
+// TotalCompliant.
+func TestFleetPagination(t *testing.T) {
+	srv := testServer(t)
+	h := srv.Handler()
+
+	code, all, body := postFleet(t, h, `{"duration":"30m","probability":0.95,"count":100}`)
+	if code != http.StatusOK {
+		t.Fatalf("fleet status %d: %s", code, body)
+	}
+	if len(all.Results) < 2 {
+		t.Fatalf("need >=2 compliant combos to exercise pagination, have %d", len(all.Results))
+	}
+
+	var walked []FleetQuote
+	cursor := ""
+	pages := 0
+	for {
+		reqBody := fmt.Sprintf(`{"duration":"30m","probability":0.95,"count":1,"cursor":%q}`, cursor)
+		code, page, raw := postFleet(t, h, reqBody)
+		if code != http.StatusOK {
+			t.Fatalf("page %d status %d: %s", pages, code, raw)
+		}
+		if page.TotalCompliant != all.TotalCompliant {
+			t.Fatalf("page %d total_compliant %d, want %d", pages, page.TotalCompliant, all.TotalCompliant)
+		}
+		if len(page.Results) > 1 {
+			t.Fatalf("page %d carried %d results, want <=1", pages, len(page.Results))
+		}
+		walked = append(walked, page.Results...)
+		pages++
+		if pages > len(all.Results)+2 {
+			t.Fatal("pagination did not terminate")
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if !reflect.DeepEqual(walked, all.Results) {
+		t.Fatalf("paged walk diverged from one-shot ranking:\nwalk: %+v\nall:  %+v", walked, all.Results)
+	}
+}
+
+// TestFleetConstraints pins the zone/type filter semantics: exact match,
+// '*'-terminated prefix, and the empty-list wildcard.
+func TestFleetConstraints(t *testing.T) {
+	srv := testServer(t)
+	h := srv.Handler()
+	cases := []struct {
+		name      string
+		body      string
+		wantZones map[string]bool // allowed zones in results; nil = any
+		wantTypes map[string]bool
+		wantEmpty bool
+	}{
+		{
+			name:      "zone prefix",
+			body:      `{"duration":"30m","probability":0.99,"zones":["us-east-1*"],"count":100}`,
+			wantZones: map[string]bool{"us-east-1b": true, "us-east-1c": true},
+		},
+		{
+			name:      "type exact",
+			body:      `{"duration":"30m","probability":0.99,"types":["c4.large"],"count":100}`,
+			wantTypes: map[string]bool{"c4.large": true},
+		},
+		{
+			name:      "type prefix",
+			body:      `{"duration":"30m","probability":0.99,"types":["c3.*"],"count":100}`,
+			wantTypes: map[string]bool{"c3.2xlarge": true},
+		},
+		{
+			name:      "combined",
+			body:      `{"duration":"30m","probability":0.99,"zones":["us-west-1a"],"types":["c3.*"],"count":100}`,
+			wantZones: map[string]bool{"us-west-1a": true},
+			wantTypes: map[string]bool{"c3.2xlarge": true},
+		},
+		{
+			name:      "no match",
+			body:      `{"duration":"30m","probability":0.99,"zones":["eu-central-1a"],"count":100}`,
+			wantEmpty: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, resp, raw := postFleet(t, h, tc.body)
+			if code != http.StatusOK {
+				t.Fatalf("status %d: %s", code, raw)
+			}
+			if tc.wantEmpty {
+				if len(resp.Results) != 0 || resp.TotalCompliant != 0 {
+					t.Fatalf("want empty, got %d results (total %d)", len(resp.Results), resp.TotalCompliant)
+				}
+				return
+			}
+			if len(resp.Results) == 0 {
+				t.Fatal("filter matched nothing; fixture is degenerate")
+			}
+			for _, r := range resp.Results {
+				if tc.wantZones != nil && !tc.wantZones[r.Zone] {
+					t.Errorf("zone %s escaped the filter", r.Zone)
+				}
+				if tc.wantTypes != nil && !tc.wantTypes[r.InstanceType] {
+					t.Errorf("type %s escaped the filter", r.InstanceType)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetErrors pins the endpoint's error contract.
+func TestFleetErrors(t *testing.T) {
+	srv := testServer(t)
+	h := srv.Handler()
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty body", ``, http.StatusBadRequest},
+		{"not json", `{{{`, http.StatusBadRequest},
+		{"missing duration", `{}`, http.StatusBadRequest},
+		{"bad duration", `{"duration":"bogus"}`, http.StatusBadRequest},
+		{"negative duration", `{"duration":"-2h"}`, http.StatusBadRequest},
+		{"probability too high", `{"duration":"1h","probability":1.5}`, http.StatusBadRequest},
+		{"probability negative", `{"duration":"1h","probability":-0.5}`, http.StatusBadRequest},
+		{"negative count", `{"duration":"1h","count":-3}`, http.StatusBadRequest},
+		{"garbage cursor", `{"duration":"1h","cursor":"!!!not-base64!!!"}`, http.StatusBadRequest},
+		{"forged cursor", `{"duration":"1h","cursor":"aGVsbG8"}`, http.StatusBadRequest},
+		{"unsupported probability level", `{"duration":"1h","probability":0.5}`, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, raw := postFleet(t, h, tc.body)
+			if code != tc.want {
+				t.Errorf("status %d, want %d (body %s)", code, tc.want, raw)
+			}
+		})
+	}
+
+	// Before any refresh there is no epoch, hence no surfaces: 503.
+	empty, err := New(Config{Source: history.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, _ := postFleet(t, empty.Handler(), `{"duration":"1h"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("empty server: status %d, want 503", code)
+	}
+}
+
+// TestFleetClient exercises the typed client end to end over HTTP,
+// including cursor-driven pagination and the default probability.
+func TestFleetClient(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &Client{BaseURL: ts.URL}
+
+	all, err := cl.Fleet(FleetRequest{Duration: "30m", Probability: 0.99, Count: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Results) < 2 {
+		t.Fatalf("need >=2 compliant combos, have %d", len(all.Results))
+	}
+	if all.Probability != 0.99 {
+		t.Errorf("probability %v", all.Probability)
+	}
+
+	// Defaulted probability (omitted) must be 0.99.
+	defaulted, err := cl.Fleet(FleetRequest{Duration: "30m", Count: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(defaulted.Results, all.Results) {
+		t.Error("omitted probability did not default to 0.99")
+	}
+
+	// Page with count=1 and reassemble.
+	var walked []FleetQuote
+	req := FleetRequest{Duration: "30m", Probability: 0.99, Count: 1}
+	for {
+		page, err := cl.Fleet(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walked = append(walked, page.Results...)
+		if page.NextCursor == "" {
+			break
+		}
+		req.Cursor = page.NextCursor
+	}
+	if !reflect.DeepEqual(walked, all.Results) {
+		t.Fatalf("client pagination diverged:\nwalk: %+v\nall:  %+v", walked, all.Results)
+	}
+
+	// A typed API error surfaces with its code.
+	_, err = cl.Fleet(FleetRequest{Duration: "bogus"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest || ae.Code != codeInvalidArgument {
+		t.Fatalf("want typed invalid_argument error, got %v", err)
+	}
+}

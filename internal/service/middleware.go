@@ -30,9 +30,12 @@ const traceparentHeader = "Traceparent"
 // balloon logs or responses.
 const maxRequestIDLen = 64
 
-// adviseWeight is /v1/advise's admission weight: a duration query runs a
-// bid-escalation scan over the full retained history — tens of cached
-// table reads' worth of work — so it consumes proportionally more of the
+// adviseWeight is the admission weight of /v1/advise and /v1/fleet: an
+// advise query may run a bid-escalation scan over the full retained
+// history (the fallback path — the surface fast path is a cheap array
+// lookup, but admission weighs the route, not the path taken), and a
+// fleet query scans a surface per combo — either way, tens of cached
+// table reads' worth of work, so they consume proportionally more of the
 // concurrency budget.
 const adviseWeight = 4
 
@@ -169,7 +172,7 @@ func (s *Server) serve(sw *statusWriter, r *http.Request, mux *http.ServeMux, ro
 	// is saturated.
 	if s.sem != nil && strings.HasPrefix(r.URL.Path, "/v1/") {
 		weight := int64(1)
-		if route == "/v1/advise" {
+		if route == "/v1/advise" || route == "/v1/fleet" {
 			weight = adviseWeight
 		}
 		ctx := r.Context()

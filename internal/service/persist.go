@@ -167,7 +167,7 @@ func (s *Server) RestoreSnapshot(payload []byte) error {
 	// Pre-encode the restored tables under the snapshot's original epoch:
 	// the warm restart serves the same bytes — and the same ETag, so client
 	// caches keep revalidating successfully — it served before the crash.
-	s.installBlobs(tables, snap.AsOf)
+	s.installBlobs(tables, preds, snap.AsOf)
 	s.metrics.tables.Set(float64(len(tables)))
 	s.logger.Info("snapshot restored",
 		"tables", len(tables), "predictors", len(preds),

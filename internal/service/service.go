@@ -429,6 +429,13 @@ func (s *Server) Refresh() error {
 		return err
 	}
 
+	// Surfaces are built before asOf is stamped: their construction cost
+	// (a GuaranteeFor per escalation entry per table) must not age the
+	// epoch it describes.
+	surfSpan := tr.StartSpan("surfaces.build")
+	surfaces := buildSurfaces(fresh, freshPreds)
+	surfSpan.End()
+
 	now := time.Now().UTC()
 	errStr := ""
 	if errCount > 0 {
@@ -440,7 +447,7 @@ func (s *Server) Refresh() error {
 	s.asOf = now
 	s.lastErr = errStr
 	s.mu.Unlock()
-	s.installBlobsTraced(fresh, now, tr)
+	s.installBlobsTraced(fresh, freshPreds, surfaces, now, tr)
 	s.metrics.tables.Set(float64(len(fresh)))
 	s.metrics.lastSuccess.SetTime(now)
 	if s.cfg.Tracer != nil {
@@ -663,11 +670,13 @@ func FromJSON(tj TableJSON) (spot.Combo, core.BidTable) {
 //	GET /v1/predictions?zone=Z&type=T&probability=P -> TableJSON
 //	GET /v1/tables?combos=Z/T,Z/T&probability=P     -> [TableJSON, ...]
 //	GET /v1/advise?zone=Z&type=T&probability=P&duration=2h -> QuoteJSON
+//	POST /v1/fleet {"duration":"12h","count":5,...}        -> FleetResponse
 //
 // /v1/combos, /v1/predictions, and /v1/tables serve pre-encoded responses
 // with a strong ETag derived from the refresh epoch; requests carrying a
 // matching If-None-Match receive 304 Not Modified. Cached /v1/predictions
-// GETs perform zero heap allocations.
+// and /v1/advise GETs perform zero heap allocations (/v1/advise answers
+// from the epoch's precomputed surfaces; see adviseFast).
 //
 // Errors are reported as the uniform JSON envelope documented in
 // errors.go; every /v1 error body decodes into the same
@@ -691,6 +700,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/predictions", s.handlePredictions)
 	mux.HandleFunc("GET /v1/tables", s.handleTables)
 	mux.HandleFunc("GET /v1/advise", s.handleAdvise)
+	mux.HandleFunc("POST /v1/fleet", s.handleFleet)
 	return s.wrap(mux)
 }
 
@@ -820,11 +830,26 @@ func (s *Server) resolveCombo(w http.ResponseWriter, r *http.Request) (visible s
 
 // handleAdvise answers the user question directly: the smallest bid that
 // guarantees the requested duration, escalating past the published table
-// span when necessary. The escalation scan runs under the server-side
-// AdviseBudget (and the client's own disconnection): past either deadline
-// the request is abandoned with 503/overloaded rather than burning CPU on
-// an answer nobody is waiting for.
+// span when necessary. Requests are answered from the epoch's precomputed
+// advise surfaces when possible (adviseFast — an array lookup, no deadline
+// needed); everything the fast path cannot serve falls back to the
+// original bid-escalation scan below.
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	if s.adviseFast(w, r) {
+		return
+	}
+	s.handleAdviseScan(w, r)
+}
+
+// handleAdviseScan is the original advise path: it runs the predictor's
+// bid-escalation scan under the server-side AdviseBudget (and the client's
+// own disconnection) — past either deadline the request is abandoned with
+// 503/overloaded rather than burning CPU on an answer nobody is waiting
+// for. It remains the fallback for requests the surface path cannot serve
+// (account mapping, escaped queries, surface-less epochs) and the
+// regression baseline MarshalHandler exposes to draftsbench and the
+// equivalence tests.
+func (s *Server) handleAdviseScan(w http.ResponseWriter, r *http.Request) {
 	visible, combo, prob, ok := s.resolveCombo(w, r)
 	if !ok {
 		return
