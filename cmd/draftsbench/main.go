@@ -99,6 +99,10 @@ type options struct {
 	fleet       bool
 	fleetTrials int
 	fleetOut    string
+
+	tenantsN   int
+	tenantsRPS float64
+	tenantsOut string
 }
 
 func main() {
@@ -130,9 +134,12 @@ func main() {
 	flag.BoolVar(&opts.fleet, "fleet", false, "in-process fleet scenario: surface/scan advise equivalence trials, surface-vs-scan per-op A/B, and POST /v1/fleet throughput")
 	flag.IntVar(&opts.fleetTrials, "fleet-trials", 1000, "randomized advise equivalence trials for -fleet (min 1000)")
 	flag.StringVar(&opts.fleetOut, "fleet-out", "BENCH_fleet.json", "fleet report output path")
+	flag.IntVar(&opts.tenantsN, "tenants", 0, "in-process multi-tenant fairness scenario: N compliant tenants paced under quota plus one abusive tenant hammering closed-loop; 0 disables")
+	flag.Float64Var(&opts.tenantsRPS, "tenants-rps", 50, "per-tenant steady quota for -tenants (requests/second)")
+	flag.StringVar(&opts.tenantsOut, "tenants-out", "BENCH_tenants.json", "tenant fairness report output path")
 	flag.Parse()
 
-	if opts.target == "" && !opts.direct && opts.gobench == "" && !opts.traceOverhead && !opts.cluster && !opts.fleet {
+	if opts.target == "" && !opts.direct && opts.gobench == "" && !opts.traceOverhead && !opts.cluster && !opts.fleet && opts.tenantsN <= 0 {
 		fmt.Fprintln(os.Stderr, "draftsbench: nothing to do; pass -target, -direct, and/or -gobench (see -h)")
 		os.Exit(2)
 	}
@@ -178,6 +185,11 @@ func main() {
 	}
 	if opts.fleet {
 		if err := runFleetBench(opts); err != nil {
+			fatal(err)
+		}
+	}
+	if opts.tenantsN > 0 {
+		if err := runTenantBench(opts); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,290 @@
+// The -tenants scenario measures multi-tenant fairness end to end over
+// real HTTP: N compliant tenants pace themselves at half their quota
+// while one abusive tenant hammers the service closed-loop at whatever
+// rate it can sustain. Two phases — a compliant-only baseline, then the
+// storm — isolate what the abuse costs the compliant population. The
+// acceptance gates (applied by CI over BENCH_tenants.json): the abusive
+// tenant's goodput is held to its token-bucket allowance with the excess
+// refused 429 before the shared admission semaphore, and the compliant
+// tenants keep >=95% goodput with their accepted-request p99 intact.
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/drafts-go/drafts/internal/benchio"
+	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/service"
+	"github.com/drafts-go/drafts/internal/spot"
+	"github.com/drafts-go/drafts/internal/tenant"
+)
+
+// abusiveConns is the abusive tenant's closed-loop concurrency: enough to
+// offer far more than any sane quota in-process.
+const abusiveConns = 8
+
+// tenantClassStats aggregates one traffic class's outcomes.
+type tenantClassStats struct {
+	sent    int
+	ok      int
+	limited int // 429 rate_limited: the tenant's own quota
+	shed    int // 503 overloaded: the shared admission semaphore
+	errs    int
+	latMS   []float64 // accepted (200) requests, ms
+	elapsed time.Duration
+}
+
+func (s *tenantClassStats) add(o tenantClassStats) {
+	s.sent += o.sent
+	s.ok += o.ok
+	s.limited += o.limited
+	s.shed += o.shed
+	s.errs += o.errs
+	s.latMS = append(s.latMS, o.latMS...)
+	if o.elapsed > s.elapsed {
+		s.elapsed = o.elapsed
+	}
+}
+
+func (s *tenantClassStats) record(status int, err error, latMS float64) {
+	s.sent++
+	switch {
+	case err != nil:
+		s.errs++
+	case status == http.StatusOK:
+		s.ok++
+		s.latMS = append(s.latMS, latMS)
+	case status == http.StatusTooManyRequests:
+		s.limited++
+	case status == http.StatusServiceUnavailable:
+		s.shed++
+	default:
+		s.errs++
+	}
+}
+
+func runTenantBench(opts options) error {
+	combos := spot.Combos()
+	if opts.directCombos > 0 && opts.directCombos < len(combos) {
+		combos = combos[:opts.directCombos]
+	}
+	start := time.Now().UTC().Add(-time.Duration(opts.directTicks) * spot.UpdatePeriod).Truncate(spot.UpdatePeriod)
+	st := history.NewStore()
+	if err := (pricegen.Generator{Seed: opts.seed}).Populate(st, combos, start, opts.directTicks); err != nil {
+		return err
+	}
+
+	specs := make([]tenant.Spec, 0, opts.tenantsN+1)
+	keys := make([]string, opts.tenantsN)
+	for i := 0; i < opts.tenantsN; i++ {
+		id := fmt.Sprintf("tenant-%04d", i)
+		keys[i] = "bk_" + id
+		specs = append(specs, tenant.Spec{ID: id, Key: keys[i]})
+	}
+	const abusiveKey = "bk_abusive"
+	specs = append(specs, tenant.Spec{ID: "abusive", Key: abusiveKey})
+	reg, err := tenant.New(tenant.Config{RPS: opts.tenantsRPS, Now: time.Now}, specs)
+	if err != nil {
+		return err
+	}
+	srv, err := service.New(service.Config{
+		Source:        st,
+		MaxHistory:    opts.directTicks,
+		Tenants:       reg,
+		MaxConcurrent: 256,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Refresh(); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	targets := make([]string, len(combos))
+	for i, c := range combos {
+		targets[i] = fmt.Sprintf("%s/v1/predictions?zone=%s&type=%s&probability=%v",
+			ts.URL, c.Zone, c.Type, opts.probability)
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.tenantsN + abusiveConns,
+			MaxIdleConnsPerHost: opts.tenantsN + abusiveConns,
+		},
+	}
+
+	// Each compliant tenant paces open-loop at half its quota: a workload
+	// that must never be refused, storm or no storm.
+	pacedRPS := opts.tenantsRPS / 2
+	baseDur := opts.duration / 2
+	if baseDur < 2*time.Second {
+		baseDur = 2 * time.Second
+	}
+
+	baseline := driveCompliant(client, keys, targets, pacedRPS, baseDur, opts.seed)
+
+	var storm, abusive tenantClassStats
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		abusive = hammerTenant(client, abusiveKey, targets, opts.duration, opts.seed)
+	}()
+	storm = driveCompliant(client, keys, targets, pacedRPS, opts.duration, opts.seed+1)
+	wg.Wait()
+
+	report := benchio.NewReport(time.Now().UTC())
+	labels := map[string]string{
+		"tenants": fmt.Sprint(opts.tenantsN), "tenant_rps": fmt.Sprint(opts.tenantsRPS),
+		"paced_rps": fmt.Sprint(pacedRPS), "duration": opts.duration.String(),
+	}
+	add := func(name string, s tenantClassStats) {
+		sort.Float64s(s.latMS)
+		report.Add(benchio.Result{
+			Name: name, Kind: "tenants", Labels: labels,
+			Metrics: map[string]float64{
+				"sent":           float64(s.sent),
+				"ok":             float64(s.ok),
+				"rate_limited":   float64(s.limited),
+				"shed":           float64(s.shed),
+				"errors":         float64(s.errs),
+				"goodput_rps":    float64(s.ok) / s.elapsed.Seconds(),
+				"p50_latency_ms": benchio.Quantile(s.latMS, 0.50),
+				"p99_latency_ms": benchio.Quantile(s.latMS, 0.99),
+			},
+		})
+	}
+	add("tenants/baseline-compliant", baseline)
+	add("tenants/storm-compliant", storm)
+	add("tenants/storm-abusive", abusive)
+
+	// The fairness summary CI gates on. goodput_ratio is the compliant
+	// population's served fraction under the storm; abusive_over_quota_x is
+	// how far past its allowance the abuser got (burst slack included, so
+	// ~1 means "held to quota"); p99_ratio compares compliant tail latency
+	// with and without the abuser.
+	fairness := map[string]float64{
+		"compliant_goodput_ratio": float64(storm.ok) / float64(storm.sent),
+		"compliant_rate_limited":  float64(storm.limited),
+		"compliant_shed":          float64(storm.shed),
+		"abusive_goodput_rps":     float64(abusive.ok) / abusive.elapsed.Seconds(),
+		"abusive_quota_rps":       opts.tenantsRPS,
+		"abusive_shed_rate":       float64(abusive.limited+abusive.shed) / float64(abusive.sent),
+		"abusive_sem_shed":        float64(abusive.shed),
+	}
+	if q := opts.tenantsRPS; q > 0 && abusive.elapsed > 0 {
+		// Allowance = steady rate plus the initial burst amortized over the run.
+		allowance := q + 2*q/abusive.elapsed.Seconds()
+		fairness["abusive_over_quota_x"] = (float64(abusive.ok) / abusive.elapsed.Seconds()) / allowance
+	}
+	sort.Float64s(baseline.latMS)
+	sort.Float64s(storm.latMS)
+	baseP99 := benchio.Quantile(baseline.latMS, 0.99)
+	stormP99 := benchio.Quantile(storm.latMS, 0.99)
+	fairness["compliant_p99_ms_baseline"] = baseP99
+	fairness["compliant_p99_ms_storm"] = stormP99
+	if baseP99 > 0 {
+		fairness["compliant_p99_ratio"] = stormP99 / baseP99
+	}
+	report.Add(benchio.Result{Name: "tenants/fairness", Kind: "tenants", Labels: labels, Metrics: fairness})
+
+	if err := benchio.Write(opts.tenantsOut, report); err != nil {
+		return err
+	}
+	printSummary(report)
+	fmt.Printf("tenant fairness report written to %s\n", opts.tenantsOut)
+	return nil
+}
+
+// driveCompliant runs every compliant tenant concurrently, each pacing
+// open-loop at rps with latency measured from the scheduled arrival time
+// (no coordinated omission), and aggregates their outcomes.
+func driveCompliant(client *http.Client, keys, targets []string, rps float64, d time.Duration, seed int64) tenantClassStats {
+	stats := make([]tenantClassStats, len(keys))
+	began := time.Now()
+	deadline := began.Add(d)
+	var wg sync.WaitGroup
+	for i, key := range keys {
+		wg.Add(1)
+		go func(i int, key string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			interval := time.Duration(float64(time.Second) / rps)
+			// Stagger tenants across one interval so arrivals don't align.
+			next := began.Add(time.Duration(float64(interval) * float64(i) / float64(len(keys))))
+			for {
+				next = next.Add(interval)
+				if next.After(deadline) {
+					return
+				}
+				time.Sleep(time.Until(next))
+				status, err, lat := authedFetch(client, key, targets[rng.Intn(len(targets))], next)
+				stats[i].record(status, err, lat)
+			}
+		}(i, key)
+	}
+	wg.Wait()
+	var agg tenantClassStats
+	agg.elapsed = time.Since(began)
+	for i := range stats {
+		agg.add(stats[i])
+	}
+	agg.elapsed = time.Since(began)
+	return agg
+}
+
+// hammerTenant is the abusive class: abusiveConns closed-loop workers
+// sharing one key, each issuing the next request the moment the previous
+// answers — offered load bounded only by the service's refusal speed.
+func hammerTenant(client *http.Client, key string, targets []string, d time.Duration, seed int64) tenantClassStats {
+	stats := make([]tenantClassStats, abusiveConns)
+	began := time.Now()
+	deadline := began.Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < abusiveConns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 1000 + int64(w)))
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				status, err, lat := authedFetch(client, key, targets[rng.Intn(len(targets))], t0)
+				stats[w].record(status, err, lat)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var agg tenantClassStats
+	for i := range stats {
+		agg.add(stats[i])
+	}
+	agg.elapsed = time.Since(began)
+	return agg
+}
+
+// authedFetch issues one authenticated GET, draining the body, and
+// reports the status plus the latency from startedAt in ms.
+func authedFetch(client *http.Client, key, target string, startedAt time.Time) (int, error, float64) {
+	req, err := http.NewRequest(http.MethodGet, target, nil)
+	if err != nil {
+		return 0, err, 0
+	}
+	req.Header.Set("Authorization", "Bearer "+key)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err, 0
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil, float64(time.Since(startedAt).Nanoseconds()) / 1e6
+}

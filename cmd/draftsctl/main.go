@@ -1,6 +1,7 @@
 // Command draftsctl is the CLI client for the DrAFTS prediction service.
 //
 //	draftsctl -server http://localhost:8732 combos
+//	draftsctl -api-key ak_live_acme_1 table -zone us-east-1b -type c4.large
 //	draftsctl table -zone us-east-1b -type c4.large -p 0.99
 //	draftsctl bid -zone us-east-1b -type c4.large -p 0.99 -duration 2h
 //	draftsctl fleet -duration 12h -p 0.99 -types 'c4.*' -count 5
@@ -34,6 +35,8 @@ import (
 func main() {
 	server := flag.String("server", "http://localhost:8732", "service base URL")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	apiKey := flag.String("api-key", os.Getenv("DRAFTS_API_KEY"),
+		"tenant API key for authenticated servers (defaults to $DRAFTS_API_KEY)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 	logger := telemetry.NewLogger(os.Stderr, *logLevel, false)
@@ -42,8 +45,9 @@ func main() {
 		usage()
 	}
 	// Three attempts total with jittered backoff: a daemon mid-restart (warm
-	// recovery takes moments) shouldn't fail the CLI.
-	cl := &service.Client{BaseURL: *server, Timeout: *timeout, Retries: 2}
+	// recovery takes moments) shouldn't fail the CLI. The API key rides the
+	// shared client, so every subcommand authenticates identically.
+	cl := &service.Client{BaseURL: *server, Timeout: *timeout, Retries: 2, APIKey: *apiKey}
 	// Always-sampled client tracing: each draftsctl request crosses the
 	// wire with a traceparent, so its ID shows up verbatim in the daemon's
 	// logs, error envelopes, and flight recorder.

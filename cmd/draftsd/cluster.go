@@ -44,14 +44,25 @@ func runReplica(logger *slog.Logger, opts options) error {
 	}
 	registerTracerStats(reg, tracer)
 
+	// Replicas enforce the same tenant registry as the writer: identity and
+	// quotas are per-node state (each node refills its own buckets), but
+	// the registry file — and therefore the key space and account mappings
+	// — is shared.
+	tenants, mappings, err := loadTenants(logger, opts)
+	if err != nil {
+		return err
+	}
+
 	srv, err := service.NewReplica(service.Config{
-		Logger:        logger,
-		Metrics:       reg,
-		MaxConcurrent: opts.maxConcurrent,
-		MaxQueue:      opts.maxQueue,
-		QueueWait:     opts.queueWait,
-		MaxStaleness:  opts.maxStaleness,
-		Tracer:        tracer,
+		Logger:          logger,
+		Metrics:         reg,
+		MaxConcurrent:   opts.maxConcurrent,
+		MaxQueue:        opts.maxQueue,
+		QueueWait:       opts.queueWait,
+		MaxStaleness:    opts.maxStaleness,
+		Tracer:          tracer,
+		Tenants:         tenants,
+		AccountMappings: mappings,
 	})
 	if err != nil {
 		return err

@@ -47,12 +47,14 @@ import (
 	"github.com/drafts-go/drafts/internal/core"
 	"github.com/drafts-go/drafts/internal/history"
 	"github.com/drafts-go/drafts/internal/market"
+	"github.com/drafts-go/drafts/internal/obfuscate"
 	"github.com/drafts-go/drafts/internal/pricegen"
 	"github.com/drafts-go/drafts/internal/qbets"
 	"github.com/drafts-go/drafts/internal/service"
 	"github.com/drafts-go/drafts/internal/spot"
 	"github.com/drafts-go/drafts/internal/store"
 	"github.com/drafts-go/drafts/internal/telemetry"
+	"github.com/drafts-go/drafts/internal/tenant"
 	"github.com/drafts-go/drafts/internal/trace"
 )
 
@@ -77,6 +79,10 @@ type options struct {
 	queueWait     time.Duration
 	adviseBudget  time.Duration
 	maxStaleness  time.Duration
+
+	tenantsFile string  // tenant registry JSON (empty = anonymous service)
+	tenantRPS   float64 // default per-tenant steady rate (scaled by weight)
+	tenantBurst float64 // default per-tenant burst (0 = 2x rate)
 
 	traceSample float64
 	traceSlow   time.Duration
@@ -106,6 +112,9 @@ func main() {
 	flag.DurationVar(&opts.queueWait, "queue-wait", 0, "max time a request may queue for admission (0 = 1s)")
 	flag.DurationVar(&opts.adviseBudget, "advise-budget", 2*time.Second, "per-request compute budget for /v1/advise scans")
 	flag.DurationVar(&opts.maxStaleness, "max-staleness", 2*time.Hour, "oldest tables the daemon will serve; beyond this /v1 reads fail 503")
+	flag.StringVar(&opts.tenantsFile, "tenants-file", "", "tenant registry JSON; when set every /v1 request must present a registered API key")
+	flag.Float64Var(&opts.tenantRPS, "tenant-rps", tenant.DefaultRPS, "default steady request rate per weight-1 tenant (requests/second)")
+	flag.Float64Var(&opts.tenantBurst, "tenant-burst", 0, "default per-tenant burst size (0 = twice the tenant's rate)")
 	flag.Float64Var(&opts.traceSample, "trace-sample", 0.01, "head-sampling rate for request traces (0 disables sampling; errors are always retained)")
 	flag.DurationVar(&opts.traceSlow, "trace-slow", 0, "latency threshold beyond which a trace is retained as slow (0 disables)")
 	flag.Int64Var(&opts.traceSeed, "trace-seed", 0, "trace ID generator seed (0 = time-seeded)")
@@ -183,19 +192,26 @@ func run(logger *slog.Logger, opts options) error {
 	}
 	shipper := cluster.NewShipper(shipCfg)
 
+	tenants, mappings, err := loadTenants(logger, opts)
+	if err != nil {
+		return err
+	}
+
 	cfg := service.Config{
-		Source:         hist,
-		RefreshEvery:   opts.refresh,
-		RefreshWorkers: opts.refreshWorkers,
-		Logger:         logger,
-		Metrics:        reg,
-		MaxConcurrent:  opts.maxConcurrent,
-		MaxQueue:       opts.maxQueue,
-		QueueWait:      opts.queueWait,
-		AdviseBudget:   opts.adviseBudget,
-		MaxStaleness:   opts.maxStaleness,
-		Tracer:         tracer,
-		OnEpoch:        shipper.Publish,
+		Source:          hist,
+		RefreshEvery:    opts.refresh,
+		RefreshWorkers:  opts.refreshWorkers,
+		Logger:          logger,
+		Metrics:         reg,
+		MaxConcurrent:   opts.maxConcurrent,
+		MaxQueue:        opts.maxQueue,
+		QueueWait:       opts.queueWait,
+		AdviseBudget:    opts.adviseBudget,
+		MaxStaleness:    opts.maxStaleness,
+		Tracer:          tracer,
+		OnEpoch:         shipper.Publish,
+		Tenants:         tenants,
+		AccountMappings: mappings,
 	}
 	if durable != nil {
 		cfg.Durable = durable
@@ -264,6 +280,34 @@ func run(logger *slog.Logger, opts options) error {
 		"addr", opts.addr, "role", "writer",
 		"combos", len(hist.Combos()), "refresh", opts.refresh)
 	return serve(ctx, logger, opts.addr, mux)
+}
+
+// loadTenants builds the tenant registry and the per-account zone
+// mappings from -tenants-file. Both are nil when the flag is unset: the
+// daemon stays anonymous and every historical quickstart keeps working.
+// Each distinct account named in the registry gets the deterministic
+// obfuscation mapping the provider would apply to it (§2.2), so a
+// tenant's zone names are stable across restarts and across replicas.
+func loadTenants(logger *slog.Logger, opts options) (*tenant.Registry, map[string]obfuscate.Mapping, error) {
+	if opts.tenantsFile == "" {
+		return nil, nil, nil
+	}
+	reg, err := tenant.Load(opts.tenantsFile, tenant.Config{
+		RPS:   opts.tenantRPS,
+		Burst: opts.tenantBurst,
+		Now:   time.Now,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading tenants: %w", err)
+	}
+	accounts := reg.Accounts()
+	mappings := make(map[string]obfuscate.Mapping, len(accounts))
+	for _, a := range accounts {
+		mappings[a] = obfuscate.ForAccount(a)
+	}
+	logger.Info("tenant registry loaded",
+		"file", opts.tenantsFile, "tenants", reg.Len(), "accounts", len(accounts))
+	return reg, mappings, nil
 }
 
 // registerTracerStats publishes the tracer's lifetime counters as gauges,

@@ -309,6 +309,53 @@ func TestRouterForwardsPostBody(t *testing.T) {
 	}
 }
 
+// TestRouterForwardsAuthHeaders pins the credential passthrough the
+// tenancy layer depends on: a router in front of authenticated nodes must
+// relay Authorization (and X-Api-Key) across the forwarding hop verbatim,
+// or every routed request would be refused 401 by the node that owns it.
+func TestRouterForwardsAuthHeaders(t *testing.T) {
+	var gotAuth, gotAPIKey atomic.Pointer[string]
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/cluster/status" {
+			_ = json.NewEncoder(w).Encode(&Status{Role: "writer", Epoch: 3, ETag: `"e"`})
+			return
+		}
+		a, k := r.Header.Get("Authorization"), r.Header.Get("X-Api-Key")
+		gotAuth.Store(&a)
+		gotAPIKey.Store(&k)
+		fmt.Fprint(w, "ok")
+	}))
+	defer node.Close()
+	m, err := NewMembership(MembershipConfig{Peers: []string{node.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Poll(t.Context())
+	ts := newTestRouter(t, m)
+
+	req, err := http.NewRequest(http.MethodGet,
+		ts.URL+"/v1/predictions?zone=us-east-1b&type=c4.large", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer ak_routed_1")
+	req.Header.Set("X-Api-Key", "ak_routed_1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if a := gotAuth.Load(); a == nil || *a != "Bearer ak_routed_1" {
+		t.Errorf("Authorization did not survive the hop (got %v)", a)
+	}
+	if k := gotAPIKey.Load(); k == nil || *k != "ak_routed_1" {
+		t.Errorf("X-Api-Key did not survive the hop (got %v)", k)
+	}
+}
+
 func TestRouterWithEmptyRing(t *testing.T) {
 	gone := newFakeNode(t, "replica", 1, "gone")
 	m, err := NewMembership(MembershipConfig{Peers: []string{gone.ts.URL}})

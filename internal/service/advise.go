@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/drafts-go/drafts/internal/core"
+	"github.com/drafts-go/drafts/internal/spot"
 )
 
 // The advise fast path answers /v1/advise from the epoch's precomputed
@@ -98,7 +99,23 @@ func (s *Server) adviseFast(w http.ResponseWriter, r *http.Request) bool {
 	if !hasProb {
 		prob = defaultProbKey
 	}
-	surf, ok := et.lookupSurface(zone, typ, prob)
+	// An account-mapped tenant asks in its obfuscated namespace: translate
+	// the visible zone to the physical one for the surface lookup, and
+	// render the quote back under the visible name. An unmapped account
+	// sees the canonical namespace (matching resolveCombo's lenient
+	// fallback); an unknown visible zone falls to the scan path, which
+	// renders the authoritative error.
+	lookupZone := zone
+	if tn := tenantOf(w); tn != nil && tn.Account != "" {
+		if m, found := s.cfg.AccountMappings[tn.Account]; found {
+			phys, found := m[spot.Zone(zone)]
+			if !found {
+				return false
+			}
+			lookupZone = string(phys)
+		}
+	}
+	surf, ok := et.lookupSurface(lookupZone, typ, prob)
 	if !ok {
 		return false
 	}
@@ -115,7 +132,9 @@ func (s *Server) adviseFast(w http.ResponseWriter, r *http.Request) bool {
 	quote, ok := surf.Lookup(d)
 	sp.End()
 	if !ok {
-		s.writeAdviseRefusal(w, d, zone, typ, surf)
+		// The refusal names the physical combo, matching the scan path's
+		// rendering byte for byte.
+		s.writeAdviseRefusal(w, d, lookupZone, typ, surf)
 		return true
 	}
 	wsp := tr.StartSpan("surface.write")

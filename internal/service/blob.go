@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/drafts-go/drafts/internal/core"
+	"github.com/drafts-go/drafts/internal/obfuscate"
 	"github.com/drafts-go/drafts/internal/spot"
 	"github.com/drafts-go/drafts/internal/trace"
 )
@@ -68,6 +69,32 @@ type encodedTables struct {
 	// requests on a surface-less epoch fall back to the scan path.
 	surfaces map[blobKey]*surfaceEntry
 	fleet    map[string][]fleetEntry
+
+	// views holds the per-permutation-class tenant variants of every table
+	// blob: the same body with the zone field renamed to each sibling zone
+	// the physical zone could appear as under some account's obfuscation
+	// mapping. An authenticated tenant's cached GET is then one mapping
+	// lookup plus one views lookup — no per-request rewrite, no
+	// allocation. Nil unless the server has account-mapped tenants
+	// (buildViews); requests views cannot serve fall back to the marshal
+	// path.
+	views map[viewKey][]byte
+
+	// combosViews holds the per-account /v1/combos listing with every
+	// zone renamed to the account's visible name and the list re-sorted
+	// in that namespace, so a mapped tenant's combo discovery round-trips
+	// into its /v1/predictions and /v1/tables requests. Keyed by account;
+	// accounts whose mapping is the identity over the served zones alias
+	// the canonical body. Built alongside views.
+	combosViews map[string][]byte
+}
+
+// viewKey addresses one tenant-view variant: the physical table identity
+// plus the visible zone name the body answers under. The physical zone is
+// part of the key because two accounts may both see "us-east-1b" while
+// meaning different physical zones.
+type viewKey struct {
+	phys, visible, typ, prob string
 }
 
 // probKey formats a probability level the way the service addresses blobs:
@@ -137,6 +164,104 @@ func encodeTables(tables map[tableKey]core.BidTable, preds map[tableKey]*core.Pr
 	return et, nil
 }
 
+// zoneFieldPrefix is how every table body begins: Zone is TableJSON's
+// first field, which is what lets buildViews rename it by prefix
+// replacement without reparsing the JSON.
+const zoneFieldPrefix = `{"zone":"`
+
+// buildViews precomputes the tenant-view variants of every table blob: for
+// each physical zone, one body per sibling zone in its region with the
+// zone field renamed (the identity variant aliases the original bytes).
+// Obfuscation mappings are region-preserving bijections, so the sibling
+// set covers every name any account could address the table by; the
+// blowup is bounded by the region's zone count (<= 5). Renamed bodies are
+// byte-identical to what the marshal path produces for the same request —
+// TestTenantViewMatchesMarshal holds the two paths together.
+func (et *encodedTables) buildViews() {
+	zones := make(map[string][]spot.Zone) // region -> sibling zones, cached
+	views := make(map[viewKey][]byte, 4*len(et.tables))
+	for k, body := range et.tables {
+		region := string(spot.Zone(k.zone).Region())
+		siblings, ok := zones[region]
+		if !ok {
+			siblings = spot.ZonesOf(spot.Region(region))
+			zones[region] = siblings
+		}
+		for _, vis := range siblings {
+			vk := viewKey{phys: k.zone, visible: string(vis), typ: k.typ, prob: k.prob}
+			if string(vis) == k.zone {
+				views[vk] = body
+				continue
+			}
+			renamed := bytes.Replace(body,
+				[]byte(zoneFieldPrefix+k.zone+`"`),
+				[]byte(zoneFieldPrefix+string(vis)+`"`), 1)
+			views[vk] = renamed
+			et.bytes += len(renamed)
+		}
+	}
+	et.views = views
+}
+
+// buildCombosViews precomputes each mapped account's /v1/combos body: the
+// served combo list with physical zones renamed to the account's visible
+// names (the inverse of its visible->physical mapping) and re-sorted in
+// the visible namespace, so a mapped tenant's combo discovery round-trips
+// into its /v1/predictions and /v1/tables requests. Accounts whose
+// renaming is the identity over the served zones alias the canonical body.
+func (et *encodedTables) buildCombosViews(mappings map[string]obfuscate.Mapping) {
+	if len(mappings) == 0 {
+		return
+	}
+	seen := make(map[spot.Combo]bool, len(et.tables))
+	for k := range et.tables {
+		seen[spot.Combo{Zone: spot.Zone(k.zone), Type: spot.InstanceType(k.typ)}] = true
+	}
+	out := make(map[string][]byte, len(mappings))
+	for account, m := range mappings {
+		inv := make(map[spot.Zone]spot.Zone, len(m))
+		for vis, phys := range m {
+			inv[phys] = vis
+		}
+		list := make([]comboJSON, 0, len(seen))
+		identity := true
+		for c := range seen {
+			vis, ok := inv[c.Zone]
+			if !ok {
+				vis = c.Zone
+			}
+			if vis != c.Zone {
+				identity = false
+			}
+			list = append(list, comboJSON{Zone: string(vis), InstanceType: string(c.Type)})
+		}
+		if identity {
+			out[account] = et.combos
+			continue
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Zone != list[j].Zone {
+				return list[i].Zone < list[j].Zone
+			}
+			return list[i].InstanceType < list[j].InstanceType
+		})
+		body, err := json.Marshal(list)
+		if err != nil {
+			continue // unreachable for these types; canonical fallback
+		}
+		out[account] = body
+		et.bytes += len(body)
+	}
+	et.combosViews = out
+}
+
+// tenantViewsEnabled reports whether this server must precompute
+// per-tenant zone views: it has account-mapped tenants and mappings to
+// translate them with.
+func (s *Server) tenantViewsEnabled() bool {
+	return s.tenants != nil && s.tenants.HasAccounts() && len(s.cfg.AccountMappings) > 0
+}
+
 // installBlobs encodes and atomically publishes the epoch's blob store.
 // The caller must install the matching tables map under s.mu around the
 // same time; an encoding failure publishes a nil store, which sends every
@@ -158,6 +283,12 @@ func (s *Server) installBlobsTraced(tables map[tableKey]core.BidTable, preds map
 		s.blobs.Store(nil)
 		s.metrics.blobBytes.Set(0)
 		return
+	}
+	if s.tenantViewsEnabled() {
+		vsp := tr.StartSpan("blob.views")
+		et.buildViews()
+		et.buildCombosViews(s.cfg.AccountMappings)
+		vsp.End()
 	}
 	et.seq = s.epochSeq.Add(1)
 	s.blobs.Store(et)
@@ -252,9 +383,11 @@ func (et *encodedTables) lookupBlob(zone, typ, prob string) ([]byte, bool) {
 
 // handlePredictions serves one bid table. Requests without an account
 // parameter hit the pre-encoded blob store — a map lookup and a single
-// write, no allocation; account-mapped requests and spellings the fast
-// parse cannot handle fall back to the marshal path, which preserves the
-// service's original semantics (and bytes) exactly.
+// write, no allocation; an authenticated tenant with an account mapping
+// is served its precomputed zone-renamed view the same way (one extra map
+// lookup, still no allocation). The explicit ?account= alias and
+// spellings the fast parse cannot handle fall back to the marshal path,
+// which preserves the service's original semantics (and bytes) exactly.
 //
 //drafts:nonalloc
 func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
@@ -271,7 +404,13 @@ func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
 				if zone != "" && typ != "" {
 					tr := traceOf(w)
 					sp := tr.StartSpan("blob.lookup")
-					body, ok := et.lookupBlob(zone, typ, prob)
+					var body []byte
+					var ok bool
+					if tn := tenantOf(w); tn != nil && tn.Account != "" {
+						body, ok = s.lookupTenantView(et, tn.Account, zone, typ, prob)
+					} else {
+						body, ok = et.lookupBlob(zone, typ, prob)
+					}
 					sp.End()
 					if ok {
 						wsp := tr.StartSpan("blob.write")
@@ -286,13 +425,53 @@ func (s *Server) handlePredictions(w http.ResponseWriter, r *http.Request) {
 	s.handlePredictionsMarshal(w, r)
 }
 
+// lookupTenantView resolves an account-mapped tenant's request to its
+// precomputed zone-renamed view: the account's mapping translates the
+// visible zone to the physical one, and the views map holds the body
+// answering under the visible name. A miss (no views built, unmapped
+// account, unknown zone/combo) sends the request to the marshal path,
+// which renders the authoritative answer — or error — for the same
+// request.
+func (s *Server) lookupTenantView(et *encodedTables, account, zone, typ, prob string) ([]byte, bool) {
+	m, found := s.cfg.AccountMappings[account]
+	if !found {
+		// Account with no mapping configured: canonical view (matching
+		// resolveCombo's lenient fallback).
+		return et.lookupBlob(zone, typ, prob)
+	}
+	if et.views == nil {
+		return nil, false
+	}
+	phys, found := m[spot.Zone(zone)]
+	if !found {
+		return nil, false
+	}
+	if b, ok := et.views[viewKey{phys: string(phys), visible: zone, typ: typ, prob: prob}]; ok {
+		return b, true
+	}
+	if f, err := strconv.ParseFloat(prob, 64); err == nil {
+		if b, ok := et.views[viewKey{phys: string(phys), visible: zone, typ: typ, prob: probKey(f)}]; ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
 // handleCombos serves the combo listing, pre-encoded when a blob store is
-// installed.
+// installed. An account-mapped tenant receives its precomputed zone-view
+// listing (combosViews) so discovery round-trips into the other read
+// endpoints; either way the response is one map lookup and one write.
 //
 //drafts:nonalloc
 func (s *Server) handleCombos(w http.ResponseWriter, r *http.Request) {
 	if et := s.blobs.Load(); et != nil {
-		s.writeBlob(w, r, et, et.combos)
+		body := et.combos
+		if tn := tenantOf(w); tn != nil && tn.Account != "" {
+			if vb, ok := et.combosViews[tn.Account]; ok {
+				body = vb
+			}
+		}
+		s.writeBlob(w, r, et, body)
 		return
 	}
 	s.handleCombosMarshal(w, r)
@@ -306,13 +485,19 @@ func (s *Server) handleCombos(w http.ResponseWriter, r *http.Request) {
 // request order, revalidating the whole batch against the epoch ETag. The
 // request is all-or-nothing: every combo is resolved before the first byte
 // is written, so a miss is a clean 404 rather than a truncated array.
-// Account-obfuscated zone names are not translated here; batch consumers
-// address combos by canonical names (as listed by /v1/combos).
+// Batch consumers address combos by the names /v1/combos listed for them:
+// canonical names for anonymous callers, the account's visible zone names
+// for a mapped tenant (served from the same precomputed view blobs as
+// /v1/predictions, so the renamed bodies cost no per-request rewrite).
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	et := s.blobs.Load()
 	if et == nil {
 		writeErr(w, http.StatusServiceUnavailable, codeStale, "no tables computed yet")
 		return
+	}
+	viewAccount := ""
+	if tn := tenantOf(w); tn != nil && tn.Account != "" {
+		viewAccount = tn.Account
 	}
 	if !s.checkStaleness(w, et.asOf) {
 		return
@@ -353,7 +538,13 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, codeInvalidArgument, "combo %q must be zone/type", part)
 			return
 		}
-		if _, ok := et.lookupBlob(zone, typ, prob); !ok {
+		var found bool
+		if viewAccount != "" {
+			_, found = s.lookupTenantView(et, viewAccount, zone, typ, prob)
+		} else {
+			_, found = et.lookupBlob(zone, typ, prob)
+		}
+		if !found {
 			writeErr(w, http.StatusNotFound, codeNotFound, "no table for %s/%s at probability %s", zone, typ, prob)
 			return
 		}
@@ -385,7 +576,12 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 			part, rest = rest, ""
 		}
 		zone, typ, _ := strings.Cut(part, "/")
-		body, _ := et.lookupBlob(zone, typ, prob)
+		var body []byte
+		if viewAccount != "" {
+			body, _ = s.lookupTenantView(et, viewAccount, zone, typ, prob)
+		} else {
+			body, _ = et.lookupBlob(zone, typ, prob)
+		}
 		if !first {
 			_, _ = w.Write(comma)
 		}
@@ -421,7 +617,8 @@ func (s *Server) handlePredictionsMarshal(w http.ResponseWriter, r *http.Request
 }
 
 // handleCombosMarshal is the marshal-per-request combo listing, kept as the
-// fallback and benchmarking baseline for handleCombos.
+// fallback and benchmarking baseline for handleCombos. It applies the same
+// per-account zone renaming as the pre-encoded path.
 func (s *Server) handleCombosMarshal(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	seen := make(map[spot.Combo]bool)
@@ -433,9 +630,22 @@ func (s *Server) handleCombosMarshal(w http.ResponseWriter, _ *http.Request) {
 	if !s.checkStaleness(w, asOf) {
 		return
 	}
+	var inv map[spot.Zone]spot.Zone
+	if tn := tenantOf(w); tn != nil && tn.Account != "" {
+		if m, found := s.cfg.AccountMappings[tn.Account]; found {
+			inv = make(map[spot.Zone]spot.Zone, len(m))
+			for vis, phys := range m {
+				inv[phys] = vis
+			}
+		}
+	}
 	out := make([]comboJSON, 0, len(seen))
 	for c := range seen {
-		out = append(out, comboJSON{Zone: string(c.Zone), InstanceType: string(c.Type)})
+		zone := c.Zone
+		if vis, ok := inv[zone]; ok {
+			zone = vis
+		}
+		out = append(out, comboJSON{Zone: string(zone), InstanceType: string(c.Type)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Zone != out[j].Zone {

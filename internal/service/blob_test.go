@@ -11,7 +11,9 @@ import (
 
 	"github.com/drafts-go/drafts/internal/core"
 	"github.com/drafts-go/drafts/internal/history"
+	"github.com/drafts-go/drafts/internal/obfuscate"
 	"github.com/drafts-go/drafts/internal/pricegen"
+	"github.com/drafts-go/drafts/internal/tenant"
 	"github.com/drafts-go/drafts/internal/trace"
 )
 
@@ -68,19 +70,48 @@ func TestCachedGetZeroAllocs(t *testing.T) {
 	if err := replica.InstallEpoch(rebuilt); err != nil {
 		t.Fatal(err)
 	}
+	// An authenticated tenant-scoped server must keep the guarantee too:
+	// the key is hashed on the stack, the token bucket is branch-and-mutex,
+	// and the tenant's obfuscated view is a precomputed blob. The tenant's
+	// visible us-east-1b is physically us-east-1c, so a passing run proves
+	// the renamed-view path specifically (not the identity alias).
+	treg, err := tenant.New(tenant.Config{RPS: 1e9}, []tenant.Spec{
+		{ID: "acme", Key: "ak_zero_alloc", Account: "acct-42"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	authed, err := New(Config{Source: testStore(t), MaxHistory: 9000,
+		Tenants: treg,
+		AccountMappings: map[string]obfuscate.Mapping{"acct-42": {
+			"us-east-1b": "us-east-1c",
+			"us-east-1c": "us-east-1b",
+			"us-west-1a": "us-west-1a",
+		}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := authed.Refresh(); err != nil {
+		t.Fatal(err)
+	}
 	servers := []struct {
 		name string
 		srv  *Server
+		key  string
 	}{
-		{"bare", writer},
-		{"traced_1pct_unsampled", traced},
-		{"replica_installed_epoch", replica},
+		{"bare", writer, ""},
+		{"traced_1pct_unsampled", traced, ""},
+		{"replica_installed_epoch", replica, ""},
+		{"authenticated_tenant_view", authed, "ak_zero_alloc"},
 	}
 	for _, tc := range servers {
 		t.Run(tc.name, func(t *testing.T) {
 			h := tc.srv.Handler()
 			req := httptest.NewRequest(http.MethodGet,
 				"/v1/predictions?zone=us-east-1b&type=c4.large&probability=0.99", nil)
+			if tc.key != "" {
+				req.Header.Set("Authorization", "Bearer "+tc.key)
+			}
 			rec := httptest.NewRecorder()
 			// AllocsPerRun's warm-up call absorbs the recorder's one-time header
 			// snapshot; Body.Reset keeps the buffer capacity across runs.

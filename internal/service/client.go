@@ -26,15 +26,22 @@ import (
 type Client struct {
 	// BaseURL of the service, e.g. "http://localhost:8732".
 	BaseURL string
+	// APIKey, when set, authenticates every request as a registered tenant
+	// (Authorization: Bearer <key>). Required against servers running with
+	// a tenant registry; ignored by anonymous servers.
+	APIKey string
 	// Account, when set, is sent with prediction requests so the service
 	// translates this account's obfuscated zone names (§2.2, §3.3).
+	// Deprecated against authenticated servers: the tenant's account is
+	// derived from APIKey, and an explicit mismatch is refused with
+	// permission_denied. Prefer APIKey alone.
 	Account string
 	// Timeout bounds each request attempt (default 30 seconds). Ignored
 	// when HTTPClient is set.
 	Timeout time.Duration
 	// Retries is how many extra attempts follow a retryable failure — a
-	// transport error, an "overloaded" or "stale" API error, or a
-	// 502/503/504 — before giving up. Each retry backs off exponentially
+	// transport error, an "overloaded", "stale", or "rate_limited" API
+	// error, or a 502/503/504 — before giving up. Each retry backs off exponentially
 	// from RetryBackoff with ±50% jitter, never sleeping less than the
 	// server's Retry-After hint. Application errors (4xx, 5xx other than
 	// the above) never retry.
@@ -89,8 +96,9 @@ type APIError struct {
 	// Status is the HTTP status code.
 	Status int
 	// Code is the machine-readable error code ("invalid_argument",
-	// "not_found", "overloaded", "stale", "internal"), empty when the
-	// response carried no envelope (a proxy's bare 502, an old server).
+	// "unauthenticated", "permission_denied", "not_found", "rate_limited",
+	// "overloaded", "stale", "internal"), empty when the response carried
+	// no envelope (a proxy's bare 502, an old server).
 	Code string
 	// Message is the human-readable description.
 	Message string
@@ -126,13 +134,15 @@ func (e *APIError) Error() string {
 // retryable reports whether err is worth another attempt: transport-level
 // failures (connection refused, timeout — the *url.Error wrapping), API
 // errors that name a transient condition ("overloaded" admission shed,
-// "stale" cold start — both clear on their own), and the bare gateway
+// "stale" cold start, "rate_limited" quota refusal — all clear on their
+// own; the Retry-After floor keeps a rate-limited retry from burning the
+// remaining budget inside one refill window), and the bare gateway
 // statuses a proxy in front of a restarting service returns.
 func retryable(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
 		switch ae.Code {
-		case codeOverloaded, codeStale:
+		case codeOverloaded, codeStale, codeRateLimited:
 			return true
 		case "":
 			return ae.Status == http.StatusBadGateway ||
@@ -258,6 +268,9 @@ func (c *Client) doOnce(method, target string, tr *trace.Trace, body []byte, out
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", bearerPrefix+c.APIKey)
 	}
 	// Retries reuse the logical request's trace: every attempt carries the
 	// same trace ID, so the server-side record of a retried request is one

@@ -44,7 +44,7 @@ func TestErrorEnvelopeGolden(t *testing.T) {
 			srv:    srv,
 			path:   "/v1/predictions?zone=us-east-1b&type=c4.large&account=ghost",
 			status: http.StatusForbidden,
-			body:   `{"error":{"code":"invalid_argument","message":"no zone mapping configured for account \"ghost\""}}` + "\n",
+			body:   `{"error":{"code":"permission_denied","message":"no zone mapping configured for account \"ghost\""}}` + "\n",
 		},
 		{
 			name:   "tables missing combos",

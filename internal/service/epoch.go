@@ -264,6 +264,13 @@ func (s *Server) InstallEpoch(ep *Epoch) error {
 		}
 		// Fall through: a writer restart renumbered same-or-newer content.
 	}
+	// A replica with tenants configured builds its per-account views before
+	// publishing the epoch: the et is still private to this goroutine, and
+	// the epoch checksum excludes views (they are derived data).
+	if s.tenantViewsEnabled() && ep.et.views == nil {
+		ep.et.buildViews()
+		ep.et.buildCombosViews(s.cfg.AccountMappings)
+	}
 	s.blobs.Store(ep.et)
 	s.asOf = ep.et.asOf
 	s.lastErr = ""

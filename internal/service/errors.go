@@ -13,25 +13,39 @@ import (
 // text — and HTTP statuses carry the same meaning they always did; the
 // code refines, never contradicts, the status:
 //
-//	invalid_argument  400, 403   malformed parameters, unknown account
-//	not_found         404, 409   no such table/predictor, or no bid can
-//	                             guarantee the requested duration
-//	overloaded        503        admission control shed the request or the
-//	                             server-side compute budget expired;
-//	                             Retry-After is always set
-//	stale             503        no tables yet (cold start) or the tables
-//	                             aged past the configured max staleness
-//	internal          500        handler panic or other server defect
+//	invalid_argument   400        malformed parameters
+//	unauthenticated    401        missing, unknown, malformed, or revoked
+//	                              API key on a server with a tenant
+//	                              registry; WWW-Authenticate is set
+//	permission_denied  403        authenticated identity may not use the
+//	                              named resource: an ?account= alias that
+//	                              does not match the tenant, or an account
+//	                              with no zone mapping configured
+//	not_found          404, 409   no such table/predictor, or no bid can
+//	                              guarantee the requested duration
+//	rate_limited       429        the tenant's own token-bucket quota or
+//	                              weighted concurrency share refused the
+//	                              request; Retry-After and the RateLimit-*
+//	                              headers are always set
+//	overloaded         503        admission control shed the request or the
+//	                              server-side compute budget expired;
+//	                              Retry-After is always set
+//	stale              503        no tables yet (cold start) or the tables
+//	                              aged past the configured max staleness
+//	internal           500        handler panic or other server defect
 //
 // request_id echoes the X-Request-ID the middleware assigned (or the
 // caller supplied); it is omitted on bare handlers wired without the
 // middleware, e.g. in tests.
 const (
-	codeInvalidArgument = "invalid_argument"
-	codeNotFound        = "not_found"
-	codeOverloaded      = "overloaded"
-	codeStale           = "stale"
-	codeInternal        = "internal"
+	codeInvalidArgument  = "invalid_argument"
+	codeUnauthenticated  = "unauthenticated"
+	codePermissionDenied = "permission_denied"
+	codeNotFound         = "not_found"
+	codeRateLimited      = "rate_limited"
+	codeOverloaded       = "overloaded"
+	codeStale            = "stale"
+	codeInternal         = "internal"
 )
 
 // errorDetail is the envelope's payload.

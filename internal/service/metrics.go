@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/drafts-go/drafts/internal/telemetry"
+	"github.com/drafts-go/drafts/internal/tenant"
 	"github.com/drafts-go/drafts/internal/trace"
 )
 
@@ -38,6 +39,9 @@ type serviceMetrics struct {
 	staleResponses *telemetry.Counter
 	adviseDeadline *telemetry.Counter
 	breakerState   *telemetry.Gauge
+
+	authFailures *telemetry.Counter
+	rateLimited  *telemetry.Counter
 }
 
 func newServiceMetrics(r *telemetry.Registry) *serviceMetrics {
@@ -83,6 +87,10 @@ func newServiceMetrics(r *telemetry.Registry) *serviceMetrics {
 			"/v1/advise requests abandoned at the server-side compute budget."),
 		breakerState: r.Gauge("drafts_refresh_breaker_state",
 			"Refresh circuit breaker position: 0 closed, 1 open, 2 half-open."),
+		authFailures: r.Counter("drafts_auth_failures_total",
+			"Requests refused 401 unauthenticated (missing, unknown, malformed, or revoked key)."),
+		rateLimited: r.Counter("drafts_rate_limited_total",
+			"Requests refused 429 rate_limited by per-tenant quotas (all tenants; see drafts_tenant_rate_limited_total)."),
 	}
 }
 
@@ -100,6 +108,10 @@ type statusWriter struct {
 	wrote  bool
 	tr     *trace.Trace
 	rid    string
+	// tenant is the authenticated identity serve() resolved, nil on
+	// anonymous servers; handlers reach it through tenantOf the same way
+	// they reach the trace through traceOf.
+	tenant *tenant.Tenant
 }
 
 func (w *statusWriter) WriteHeader(code int) {

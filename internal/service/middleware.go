@@ -90,7 +90,7 @@ func traceOf(w http.ResponseWriter) *trace.Trace {
 // X-Request-Id). Instrumented (metrics/admission) servers keep the
 // historical stamp-on-every-response contract.
 func (s *Server) wrap(mux *http.ServeMux) http.Handler {
-	if !s.metrics.on && s.sem == nil && s.cfg.Tracer == nil {
+	if !s.metrics.on && s.sem == nil && s.cfg.Tracer == nil && s.tenants == nil {
 		return mux
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -117,6 +117,7 @@ func (s *Server) wrap(mux *http.ServeMux) http.Handler {
 		sw.wrote = false
 		sw.tr = tr
 		sw.rid = ""
+		sw.tenant = nil
 		if s.metrics.on || s.sem != nil || tr.Remote() ||
 			r.Header.Get(requestIDHeader) != "" {
 			rid := requestID(r, tr)
@@ -140,6 +141,7 @@ func (s *Server) wrap(mux *http.ServeMux) http.Handler {
 		tr.SetStatus(status)
 		sw.tr = nil
 		sw.rid = ""
+		sw.tenant = nil
 		sw.ResponseWriter = nil
 		statusWriterPool.Put(sw)
 		if s.metrics.on {
@@ -167,6 +169,21 @@ func (s *Server) serve(sw *statusWriter, r *http.Request, mux *http.ServeMux, ro
 			}
 		}
 	}()
+	// Tenant identity and per-tenant limits guard /v1/* only, and run
+	// before shared admission so a tenant over quota is 429'd without
+	// holding an admission slot (that priority is what keeps admission
+	// fair; see TestTenantFairnessChaos).
+	if s.tenants != nil && strings.HasPrefix(r.URL.Path, "/v1/") {
+		tn := s.authenticate(sw, r)
+		if tn == nil {
+			return
+		}
+		sw.tenant = tn
+		if !s.admitTenant(sw, route, tn) {
+			return
+		}
+		defer tn.ReleaseSlot()
+	}
 	// Admission control guards /v1/* only: health, metrics, and
 	// /debug/flight probes must keep answering precisely when the service
 	// is saturated.

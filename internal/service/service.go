@@ -32,6 +32,7 @@ import (
 	"github.com/drafts-go/drafts/internal/resilience"
 	"github.com/drafts-go/drafts/internal/spot"
 	"github.com/drafts-go/drafts/internal/telemetry"
+	"github.com/drafts-go/drafts/internal/tenant"
 	"github.com/drafts-go/drafts/internal/trace"
 )
 
@@ -82,8 +83,18 @@ type Config struct {
 	// "us-east-1d"; the production prototype preconfigured this mapping
 	// for each client (§3.3). Requests carrying ?account=<id> with a
 	// configured mapping are translated; unknown accounts get an error
-	// rather than silently wrong predictions.
+	// rather than silently wrong predictions. With Tenants configured the
+	// account is derived from the authenticated tenant instead, and
+	// ?account= survives only as a deprecated alias that must match it.
 	AccountMappings map[string]obfuscate.Mapping
+	// Tenants, when non-nil, requires every /v1/* request to authenticate
+	// with a registered API key (Authorization: Bearer <key> or X-Api-Key)
+	// and enforces each tenant's token-bucket quota and weighted
+	// concurrency share before shared admission control. Nil preserves the
+	// historical anonymous service exactly. The server installs a wall
+	// clock into the registry and, when Metrics is configured, registers
+	// the bounded-cardinality per-tenant counters.
+	Tenants *tenant.Registry
 	// Logger receives the service's structured logs (refresh outcomes,
 	// per-combo failures). Nil discards them.
 	Logger *slog.Logger
@@ -170,6 +181,10 @@ type Server struct {
 	// that never trips is free).
 	sem     *resilience.Semaphore
 	breaker *resilience.Breaker
+
+	// tenants mirrors cfg.Tenants; nil serves anonymously, exactly as the
+	// service always did.
+	tenants *tenant.Registry
 
 	// blobs is the pre-encoded serving state for the read fast path,
 	// replaced wholesale by each refresh (or snapshot restore). Handlers
@@ -265,6 +280,16 @@ func newServer(cfg Config, role string) (*Server, error) {
 	}
 	if cfg.MaxConcurrent > 0 {
 		s.sem = resilience.NewSemaphore(int64(cfg.MaxConcurrent), cfg.MaxQueue)
+	}
+	if cfg.Tenants != nil {
+		s.tenants = cfg.Tenants
+		s.tenants.EnsureClock(time.Now)
+		if cfg.MaxConcurrent > 0 {
+			s.tenants.SetConcurrencyShare(int64(cfg.MaxConcurrent))
+		}
+		if cfg.Metrics != nil {
+			s.tenants.RegisterMetrics(cfg.Metrics, 0)
+		}
 	}
 	return s, nil
 }
@@ -685,7 +710,12 @@ func FromJSON(tj TableJSON) (spot.Combo, core.BidTable) {
 // With a metrics registry configured, every request is recorded in
 // drafts_http_requests_total and drafts_http_request_seconds; with
 // MaxConcurrent configured, /v1/* requests pass weighted admission control
-// and overflow is shed with 503/overloaded + Retry-After. With a Tracer
+// and overflow is shed with 503/overloaded + Retry-After. With a Tenants
+// registry configured, every /v1 request must present an API key
+// (401/unauthenticated otherwise) and passes the tenant's token bucket
+// and inflight cap (429/rate_limited) before the shared semaphore;
+// authenticated cached GETs remain zero-allocation, including per-account
+// zone views (precomputed at refresh; see blob.go). With a Tracer
 // configured, every request is traced, GET /debug/flight serves the
 // flight recorder (admission-exempt, like /healthz), and X-Request-Id is
 // the trace ID. All of it runs in the same middleware (wrap); with none
@@ -791,8 +821,14 @@ type QuoteJSON struct {
 	DurationSeconds float64 `json:"guaranteed_duration_seconds"`
 }
 
-// resolveCombo parses and (when an account is given) deobfuscates the
+// resolveCombo parses and (when an account applies) deobfuscates the
 // zone/type query parameters; it writes the error response itself.
+//
+// The account is derived from the authenticated tenant when the server has
+// a tenant registry; the legacy ?account= parameter survives only as a
+// deprecated alias that must match the tenant's account (the response then
+// carries Deprecation and Sunset headers). Without a registry ?account=
+// keeps its historical meaning unchanged.
 func (s *Server) resolveCombo(w http.ResponseWriter, r *http.Request) (visible spot.Zone, combo spot.Combo, prob float64, ok bool) {
 	zone := r.URL.Query().Get("zone")
 	ty := r.URL.Query().Get("type")
@@ -812,10 +848,30 @@ func (s *Server) resolveCombo(w http.ResponseWriter, r *http.Request) (visible s
 	}
 	visible = spot.Zone(zone)
 	canonical := visible
-	if account := r.URL.Query().Get("account"); account != "" {
+	tn := tenantOf(w)
+	account := r.URL.Query().Get("account")
+	if account != "" && s.tenants != nil {
+		// Deprecated alias: tolerated only when it names the authenticated
+		// tenant's own account — anything else is a cross-tenant probe.
+		if tn == nil || tn.Account != account {
+			writeErr(w, http.StatusForbidden, codePermissionDenied,
+				"account %q does not match the authenticated tenant", account)
+			return
+		}
+		markAccountParamDeprecated(w)
+	}
+	if account == "" && tn != nil {
+		account = tn.Account
+	}
+	if account != "" {
 		m, found := s.cfg.AccountMappings[account]
 		if !found {
-			writeErr(w, http.StatusForbidden, codeInvalidArgument, "no zone mapping configured for account %q", account)
+			if tn != nil && account == tn.Account {
+				// A tenant whose account has no mapping configured sees the
+				// canonical view rather than being locked out.
+				return visible, spot.Combo{Zone: canonical, Type: spot.InstanceType(ty)}, prob, true
+			}
+			writeErr(w, http.StatusForbidden, codePermissionDenied, "no zone mapping configured for account %q", account)
 			return
 		}
 		var err error

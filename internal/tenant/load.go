@@ -1,0 +1,38 @@
+package tenant
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Load reads a tenants file — a JSON array of Spec entries — and builds
+// the registry:
+//
+//	[
+//	  {"tenant": "acme", "key": "ak_live_acme_1", "account": "acct-acme", "weight": 4},
+//	  {"tenant": "solo", "key": "ak_live_solo_1"},
+//	  {"tenant": "old",  "key": "ak_old_9", "revoked": true}
+//	]
+//
+// Unknown fields are rejected so a typo'd quota field fails loudly at
+// startup instead of silently granting the default.
+func Load(path string, cfg Config) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: reading %s: %w", path, err)
+	}
+	return Parse(data, cfg)
+}
+
+// Parse builds a registry from the JSON bytes of a tenants file.
+func Parse(data []byte, cfg Config) (*Registry, error) {
+	var specs []Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("tenant: parsing tenants file: %w", err)
+	}
+	return New(cfg, specs)
+}

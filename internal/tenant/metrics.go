@@ -1,0 +1,44 @@
+package tenant
+
+import "github.com/drafts-go/drafts/internal/telemetry"
+
+// DefaultMetricTenants caps how many tenants get their own metric label.
+// A million-tenant registry must not mint a million label values: the
+// first DefaultMetricTenants tenants (sorted by ID — deterministic across
+// restarts for a fixed registry) are labelled individually and everyone
+// else collapses into the shared "other" slot, bounding scrape cardinality
+// while keeping the hot tenants distinguishable.
+const DefaultMetricTenants = 64
+
+// overflowLabel is the shared label value for tenants past the cap.
+const overflowLabel = "other"
+
+// RegisterMetrics binds each tenant's request and rate-limited counters in
+// reg, capped at maxLabels distinct tenant label values (0 selects
+// DefaultMetricTenants). It must run before the registry starts serving
+// (service.New calls it when a metrics registry is configured); calling it
+// twice against the same registry rebinds the same counters.
+func (r *Registry) RegisterMetrics(reg *telemetry.Registry, maxLabels int) {
+	if reg == nil {
+		return
+	}
+	if maxLabels <= 0 {
+		maxLabels = DefaultMetricTenants
+	}
+	requests := reg.CounterVec("drafts_tenant_requests_total",
+		"Requests admitted past tenant authentication and rate limiting, by tenant.", "tenant")
+	limited := reg.CounterVec("drafts_tenant_rate_limited_total",
+		"Requests shed by a tenant's own quota (429 rate_limited), by tenant.", "tenant")
+	reg.Gauge("drafts_tenants", "Registered tenants.").Set(float64(len(r.tenants)))
+	overflowReq := requests.With(overflowLabel)
+	overflowLim := limited.With(overflowLabel)
+	for i, t := range r.tenants {
+		if i < maxLabels {
+			t.requests = requests.With(t.ID)
+			t.limited = limited.With(t.ID)
+		} else {
+			t.requests = overflowReq
+			t.limited = overflowLim
+		}
+	}
+}
